@@ -1,0 +1,325 @@
+// Package adaptivefl's repository-level benchmarks: one testing.B entry
+// per paper table/figure (each measures the marginal cost of the
+// experiment's unit of work — an FL round, a pool split, a test-bed
+// simulation step — at a reduced scale), plus micro-benchmarks for the
+// computational substrate. Regenerating the full artefacts is
+// cmd/flbench's job; these benches keep the harness honest and fast.
+package adaptivefl
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/baselines"
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/exp"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/rl"
+	"adaptivefl/internal/tensor"
+	"adaptivefl/internal/testbed"
+)
+
+// benchScale is a miniature configuration so each FL-round iteration costs
+// tens of milliseconds.
+func benchScale() exp.Scale {
+	return exp.Scale{
+		Name: "bench", Clients: 8, K: 3, Rounds: 1, EvalEvery: 1,
+		SamplesPerClient: 12, TestSamples: 40, WidthScale: 0.07,
+		LocalEpochs: 1, BatchSize: 6, LR: 0.05, Momentum: 0.5,
+		Parallelism: 3, Seed: 1,
+	}
+}
+
+func benchRunner(b *testing.B, alg string, arch models.Arch, dataset string, dist exp.Dist) baselines.Runner {
+	b.Helper()
+	sc := benchScale()
+	fed, err := exp.BuildFederation(arch, dataset, dist, exp.DefaultProportions, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner(alg, fed, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func benchRounds(b *testing.B, r baselines.Runner) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_SplitVGG16 measures building the full-scale Table 1
+// pool (the split step of every AdaptiveFL round, Algorithm 1 line 4).
+func BenchmarkTable1_SplitVGG16(b *testing.B) {
+	cfg := models.Config{Arch: models.VGG16, NumClasses: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := prune.BuildPool(cfg, prune.Config{P: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 2 benches: one FL round per compared algorithm.
+
+func BenchmarkTable2_AdaptiveFL_VGG16_CIFAR10(b *testing.B) {
+	benchRounds(b, benchRunner(b, "AdaptiveFL", models.VGG16, "cifar10", exp.IID))
+}
+
+func BenchmarkTable2_AllLarge_VGG16_CIFAR10(b *testing.B) {
+	benchRounds(b, benchRunner(b, "All-Large", models.VGG16, "cifar10", exp.IID))
+}
+
+func BenchmarkTable2_Decoupled_VGG16_CIFAR10(b *testing.B) {
+	benchRounds(b, benchRunner(b, "Decoupled", models.VGG16, "cifar10", exp.IID))
+}
+
+func BenchmarkTable2_HeteroFL_VGG16_CIFAR10(b *testing.B) {
+	benchRounds(b, benchRunner(b, "HeteroFL", models.VGG16, "cifar10", exp.IID))
+}
+
+func BenchmarkTable2_ScaleFL_VGG16_CIFAR10(b *testing.B) {
+	benchRounds(b, benchRunner(b, "ScaleFL", models.VGG16, "cifar10", exp.IID))
+}
+
+func BenchmarkTable2_AdaptiveFL_ResNet18_CIFAR100_Dir03(b *testing.B) {
+	benchRounds(b, benchRunner(b, "AdaptiveFL", models.ResNet18, "cifar100", exp.Dir03))
+}
+
+func BenchmarkTable2_AdaptiveFL_ResNet18_FEMNIST(b *testing.B) {
+	benchRounds(b, benchRunner(b, "AdaptiveFL", models.ResNet18, "femnist", exp.Natural))
+}
+
+// BenchmarkFigure2_CurveEvaluation measures one learning-curve point (the
+// avg/full evaluation recorded every EvalEvery rounds in Figure 2).
+func BenchmarkFigure2_CurveEvaluation(b *testing.B) {
+	sc := benchScale()
+	fed, err := exp.BuildFederation(models.VGG16, "cifar10", exp.IID, exp.DefaultProportions, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner("AdaptiveFL", fed, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Round(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Evaluate(fed.Test, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3_SubmodelExtraction measures slicing the three level
+// submodels out of the global model (Figure 3's measurement step).
+func BenchmarkFigure3_SubmodelExtraction(b *testing.B) {
+	cfg := models.Config{Arch: models.VGG16, NumClasses: 10, WidthScale: 0.25, Seed: 1}
+	pool, err := prune.BuildPool(cfg, prune.Config{P: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := nn.StateDict(models.MustBuild(cfg, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"S1", "M1", "L1"} {
+			for _, m := range pool.Members {
+				if m.Name() != name {
+					continue
+				}
+				if _, err := pool.ExtractState(global, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4_Round_K50 measures one round at the Figure 4 scalability
+// sweep's smallest population (50 clients, 5 per round).
+func BenchmarkFigure4_Round_K50(b *testing.B) {
+	sc := benchScale()
+	sc.Clients = 50
+	sc.K = 5
+	fed, err := exp.BuildFederation(models.ResNet18, "cifar10", exp.Dir06, exp.DefaultProportions, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner("AdaptiveFL", fed, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRounds(b, r)
+}
+
+// BenchmarkTable3_Round_Proportion811 measures a round under the 8:1:1
+// weak-heavy device mix of Table 3.
+func BenchmarkTable3_Round_Proportion811(b *testing.B) {
+	sc := benchScale()
+	fed, err := exp.BuildFederation(models.VGG16, "cifar10", exp.IID, [3]float64{8, 1, 1}, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner("AdaptiveFL", fed, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRounds(b, r)
+}
+
+// BenchmarkTable4_CoarseRound measures a round with the coarse (p=1) pool
+// of the Table 4 ablation.
+func BenchmarkTable4_CoarseRound(b *testing.B) {
+	benchRounds(b, benchRunner(b, "AdaptiveFL-Coarse", models.VGG16, "cifar10", exp.IID))
+}
+
+// BenchmarkFigure5_RLSelection measures the RL client-selection step
+// (reward computation + sampling) on a 100-client population.
+func BenchmarkFigure5_RLSelection(b *testing.B) {
+	pool, err := prune.BuildPool(models.Config{Arch: models.ResNet18, NumClasses: 100, WidthScale: 0.25}, prune.Config{P: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := rl.NewTables(rl.Config{}, 3, len(pool.Members), 100)
+	rng := rand.New(rand.NewSource(1))
+	candidates := make([]int, 100)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	// Populate with plausible history.
+	for i := 0; i < 500; i++ {
+		sent := pool.Members[rng.Intn(len(pool.Members))]
+		got, ok := pool.LargestFit(sent, pool.Members[rng.Intn(len(pool.Members))].Size)
+		if !ok {
+			got = pool.Smallest()
+		}
+		tables.RecordDispatch(sent, got, rng.Intn(100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables.SelectClient(rng, rl.ModeCS, pool.Members[i%len(pool.Members)], pool, candidates)
+	}
+}
+
+// BenchmarkFigure6_TestbedRound measures one simulated test-bed round
+// (MobileNetV2, Widar-like, Table 5 platform).
+func BenchmarkFigure6_TestbedRound(b *testing.B) {
+	sc := benchScale()
+	sc.Clients = 17
+	sc.K = 5
+	fed, err := exp.BuildFederation(models.MobileNetV2, "widar", exp.Natural, [3]float64{4, 10, 3}, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner("AdaptiveFL", fed, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := testbed.NewSim(testbed.Table5Platform())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := r.(*baselines.Adaptive)
+	classOf := func(id int) core.DeviceClass { return fed.Clients[id].Device.Class }
+	samplesOf := func(id int) int { return fed.Clients[id].Data.Len() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Round(); err != nil {
+			b.Fatal(err)
+		}
+		stats := a.Srv.Stats()
+		sim.Advance(sim.RoundTime(stats[len(stats)-1], classOf, samplesOf, sc.LocalEpochs))
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkGEMM_128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	c := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(false, false, 1, x, y, 0, c)
+	}
+}
+
+func BenchmarkConvForward_VGGBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	conv := nn.NewConv2D(rng, "c", 16, 16, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+	}
+}
+
+func BenchmarkLocalTrainEpoch(b *testing.B) {
+	sc := benchScale()
+	mcfg, err := exp.ModelConfig(models.ResNet18, "cifar10", sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := nn.StateDict(models.MustBuild(mcfg, nil))
+	dcfg, err := exp.DatasetConfig("cifar10", sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := data.Generate(dcfg)
+	ds := train.Subset(seqInts(sc.SamplesPerClient))
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainLocal(mcfg, nil, global, ds, sc.TrainConfig(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateHeterogeneous(b *testing.B) {
+	cfg := models.Config{Arch: models.VGG16, NumClasses: 10, WidthScale: 0.125, Seed: 1}
+	pool, err := prune.BuildPool(cfg, prune.Config{P: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := nn.StateDict(models.MustBuild(cfg, nil))
+	var updates []agg.Update
+	for _, name := range []string{"S3", "M2", "L1"} {
+		for _, m := range pool.Members {
+			if m.Name() != name {
+				continue
+			}
+			st, err := pool.ExtractState(global, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates = append(updates, agg.Update{State: st, Weight: 10})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Aggregate(global, updates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seqInts(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+// Command flbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports, computed on
+// the synthetic substrate at a configurable scale.
+//
+// Usage:
+//
+//	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|all \
+//	        -scale quick|small|paper [-dataset cifar10,...] [-arch vgg16,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adaptivefl/internal/exp"
+	"adaptivefl/internal/models"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|all")
+		scale    = flag.String("scale", "quick", "fidelity: quick|small|paper")
+		datasets = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
+		archs    = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
+		dists    = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
+	)
+	flag.Parse()
+
+	sc, err := exp.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Fprintf(w, "\n==== %s (scale=%s) ====\n", name, sc.Name)
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *expName == "all" || *expName == name }
+
+	if want("table1") {
+		run("table1", func() error { return exp.Table1(w) })
+	}
+	if want("table2") {
+		cells := table2Cells(*datasets, *archs, *dists)
+		run("table2", func() error { return exp.Table2(w, cells, exp.Table2Algorithms, sc) })
+	}
+	if want("fig2") {
+		run("fig2", func() error { return exp.Figure2(w, sc) })
+	}
+	if want("fig3") {
+		run("fig3", func() error { return exp.Figure3(w, sc) })
+	}
+	if want("fig4") {
+		pops := []int{50, 100, 200, 500}
+		if sc.Name == "quick" {
+			pops = []int{20, 40}
+		} else if sc.Name == "small" {
+			pops = []int{50, 100, 200}
+		}
+		run("fig4", func() error { return exp.Figure4(w, pops, sc) })
+	}
+	if want("table3") {
+		run("table3", func() error { return exp.Table3(w, sc) })
+	}
+	if want("table4") {
+		cells := []exp.Cell{
+			{Dataset: "cifar10", Arch: models.VGG16, Dist: exp.IID},
+			{Dataset: "cifar10", Arch: models.ResNet18, Dist: exp.IID},
+			{Dataset: "cifar10", Arch: models.VGG16, Dist: exp.Dir03},
+			{Dataset: "cifar100", Arch: models.ResNet18, Dist: exp.IID},
+		}
+		if sc.Name == "quick" {
+			cells = cells[:2]
+		}
+		run("table4", func() error { return exp.Table4(w, cells, sc) })
+	}
+	if want("fig5") {
+		run("fig5", func() error { return exp.Figure5(w, sc) })
+	}
+	if want("fig6") {
+		run("fig6", func() error { return exp.Figure6(w, sc) })
+	}
+}
+
+func table2Cells(datasets, archs, dists string) []exp.Cell {
+	var cells []exp.Cell
+	for _, ds := range strings.Split(datasets, ",") {
+		ds = strings.TrimSpace(ds)
+		if ds == "" {
+			continue
+		}
+		for _, a := range strings.Split(archs, ",") {
+			arch := models.Arch(strings.TrimSpace(a))
+			if ds == "femnist" {
+				// FEMNIST is naturally non-IID; it has a single setting.
+				cells = append(cells, exp.Cell{Dataset: ds, Arch: arch, Dist: exp.Natural})
+				continue
+			}
+			for _, d := range strings.Split(dists, ",") {
+				cells = append(cells, exp.Cell{Dataset: ds, Arch: arch, Dist: exp.Dist(strings.TrimSpace(d))})
+			}
+		}
+	}
+	return cells
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flbench:", err)
+	os.Exit(1)
+}

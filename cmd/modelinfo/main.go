@@ -1,0 +1,53 @@
+// Command modelinfo prints the pruning split table (params / MACs / size
+// ratio per pool member) for any supported architecture — Table 1 of the
+// paper generalised to all three model families.
+//
+// Usage:
+//
+//	modelinfo -arch vgg16|resnet18|mobilenetv2 [-classes 10] [-p 3] [-input 32] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/prune"
+)
+
+func main() {
+	var (
+		arch    = flag.String("arch", "vgg16", "architecture: vgg16|resnet18|mobilenetv2")
+		classes = flag.Int("classes", 10, "number of classes")
+		p       = flag.Int("p", 3, "submodels per level")
+		input   = flag.Int("input", 32, "input resolution")
+		scale   = flag.Float64("scale", 1.0, "width scale")
+	)
+	flag.Parse()
+
+	mcfg := models.Config{
+		Arch:       models.Arch(*arch),
+		NumClasses: *classes,
+		InputSize:  *input,
+		WidthScale: *scale,
+	}
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: *p})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelinfo:", err)
+		os.Exit(1)
+	}
+	full := float64(pool.Largest().Size)
+	fmt.Printf("split settings for %s (p=%d, classes=%d, input=%d, scale=%.3f)\n",
+		*arch, *p, *classes, *input, *scale)
+	fmt.Println("level  r_w    I    #params      #MACs  ratio")
+	for i := len(pool.Members) - 1; i >= 0; i-- {
+		m := pool.Members[i]
+		iStr := fmt.Sprintf("%3d", m.I)
+		if m.Level == prune.LevelL {
+			iStr = "N/A"
+		}
+		fmt.Printf("%-5s  %.2f  %s  %9d  %9d  %.3f\n",
+			m.Name(), m.Rw, iStr, m.Size, m.MACs, float64(m.Size)/full)
+	}
+}

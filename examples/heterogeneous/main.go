@@ -1,0 +1,59 @@
+// Heterogeneous-devices example: how the device mix changes what each
+// algorithm can learn. Replays a miniature version of the paper's Table 3
+// sweep (weak-heavy 8:1:1 vs strong-heavy 1:1:8) for HeteroFL and
+// AdaptiveFL, showing that AdaptiveFL degrades much more gracefully when
+// most devices are weak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptivefl/internal/baselines"
+	"adaptivefl/internal/exp"
+	"adaptivefl/internal/models"
+)
+
+func main() {
+	sc := exp.QuickScale()
+	sc.Rounds = 12
+	sc.EvalEvery = 12
+
+	mixes := []struct {
+		name  string
+		props [3]float64
+	}{
+		{"8:1:1 (weak-heavy)", [3]float64{8, 1, 1}},
+		{"4:3:3 (paper default)", [3]float64{4, 3, 3}},
+		{"1:1:8 (strong-heavy)", [3]float64{1, 1, 8}},
+	}
+
+	fmt.Println("best avg accuracy (%) by device mix — cifar10/vgg16/iid")
+	fmt.Printf("%-22s  %-10s  %-10s\n", "mix (weak:med:strong)", "HeteroFL", "AdaptiveFL")
+	for _, mix := range mixes {
+		row := fmt.Sprintf("%-22s", mix.name)
+		for _, alg := range []string{"HeteroFL", "AdaptiveFL"} {
+			fed, err := exp.BuildFederation(models.VGG16, "cifar10", exp.IID, mix.props, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := exp.NewRunner(alg, fed, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			curve, err := exp.RunCurve(r, fed, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := exp.BestOf(curve, "avg")
+			if best == 0 {
+				best = exp.BestOf(curve, "full")
+			}
+			row += fmt.Sprintf("  %-10.2f", best*100)
+			_ = baselines.AvgOf
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nAdaptiveFL's fine-grained pool keeps weak devices contributing")
+	fmt.Println("full-width shallow layers, so the weak-heavy mix hurts it least.")
+}

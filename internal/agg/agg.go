@@ -1,0 +1,63 @@
+// Package agg implements AdaptiveFL's heterogeneous model aggregation
+// (paper Algorithm 2): every uploaded submodel parameter is a prefix block
+// of the corresponding global tensor, so the server accumulates
+// weight·value and weight per element and divides; elements not covered by
+// any upload keep their previous global value.
+package agg
+
+import (
+	"fmt"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// Update is one client's trained submodel with its aggregation weight
+// (the paper uses the local dataset size |d_c|).
+type Update struct {
+	State  nn.State
+	Weight float64
+}
+
+// Aggregate merges heterogeneous updates into a new global state. Every
+// tensor in every update must have the same name as — and fit as a prefix
+// block of — the matching global tensor. Updates may omit parameters they
+// do not hold; parameters no update covers are carried over unchanged.
+func Aggregate(global nn.State, updates []Update) (nn.State, error) {
+	for ui, u := range updates {
+		if u.Weight <= 0 {
+			return nil, fmt.Errorf("agg: update %d has non-positive weight %v", ui, u.Weight)
+		}
+		for name, v := range u.State {
+			g, ok := global[name]
+			if !ok {
+				return nil, fmt.Errorf("agg: update %d has unknown parameter %q", ui, name)
+			}
+			if !tensor.PrefixFits(v, g) {
+				return nil, fmt.Errorf("agg: update %d parameter %q shape %v does not fit global %v", ui, name, v.Shape, g.Shape)
+			}
+		}
+	}
+	out := make(nn.State, len(global))
+	for name, g := range global {
+		acc := tensor.New(g.Shape...)
+		cnt := tensor.New(g.Shape...)
+		covered := false
+		for _, u := range updates {
+			if v, ok := u.State[name]; ok {
+				tensor.AccumulatePrefix(acc, cnt, v, u.Weight)
+				covered = true
+			}
+		}
+		res := g.Clone()
+		if covered {
+			for i := range res.Data {
+				if cnt.Data[i] > 0 {
+					res.Data[i] = acc.Data[i] / cnt.Data[i]
+				}
+			}
+		}
+		out[name] = res
+	}
+	return out, nil
+}

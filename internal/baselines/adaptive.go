@@ -1,0 +1,57 @@
+package baselines
+
+import (
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+)
+
+// Adaptive adapts core.Server (AdaptiveFL itself) to the Runner interface
+// so the experiment harness can sweep it alongside the baselines.
+type Adaptive struct {
+	Srv *core.Server
+	// Label overrides Name() for ablation variants (e.g. "AdaptiveFL+C").
+	Label string
+}
+
+// NewAdaptive builds an AdaptiveFL runner from a server configuration.
+func NewAdaptive(cfg core.Config, clients []*core.Client, label string) (*Adaptive, error) {
+	srv, err := core.NewServer(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = "AdaptiveFL"
+	}
+	return &Adaptive{Srv: srv, Label: label}, nil
+}
+
+// Name implements Runner.
+func (a *Adaptive) Name() string { return a.Label }
+
+// Round implements Runner.
+func (a *Adaptive) Round() error { return a.Srv.Round() }
+
+// Evaluate reports the full global model plus the L1/M1/S1 pool members
+// extracted from it.
+func (a *Adaptive) Evaluate(test *data.Dataset, batch int) (map[string]float64, error) {
+	out := map[string]float64{}
+	full, err := a.Srv.GlobalModel()
+	if err != nil {
+		return nil, err
+	}
+	out["full"] = eval.Accuracy(full, test, batch)
+	for _, name := range []string{"S1", "M1", "L1"} {
+		m, err := a.Srv.SubmodelByName(name)
+		if err != nil {
+			// Coarse pools (P=1) still expose S1/M1/L1; other pool shapes
+			// may not — skip absent levels.
+			continue
+		}
+		out[name] = eval.Accuracy(m, test, batch)
+	}
+	return out, nil
+}
+
+// Waste reports the communication-waste rate accumulated so far.
+func (a *Adaptive) Waste() float64 { return core.CommWasteRate(a.Srv.Stats()) }

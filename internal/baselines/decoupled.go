@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+)
+
+// Decoupled trains three completely independent FedAvg models — at the
+// L_1, M_1 and S_1 shapes — each with the clients that can afford it
+// (paper baseline "Decoupled [1]"). No knowledge flows between levels,
+// which is why the paper finds it weakest.
+type Decoupled struct {
+	setup   Setup
+	levels  []prune.Submodel // S1, M1, L1 (ascending)
+	globals []nn.State       // one per level
+	rng     *rand.Rand
+}
+
+// NewDecoupled builds the per-level FedAvg baseline from the pool's
+// largest member of each level.
+func NewDecoupled(s Setup, pool *prune.Pool) (*Decoupled, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	d := &Decoupled{setup: s, rng: rand.New(rand.NewSource(s.Seed))}
+	for _, level := range []prune.Level{prune.LevelS, prune.LevelM, prune.LevelL} {
+		members := pool.ByLevel(level)
+		if len(members) == 0 {
+			return nil, fmt.Errorf("baselines: pool has no %v members", level)
+		}
+		top := members[len(members)-1]
+		m, err := models.Build(s.Model, top.Widths)
+		if err != nil {
+			return nil, err
+		}
+		d.levels = append(d.levels, top)
+		d.globals = append(d.globals, nn.StateDict(m))
+	}
+	return d, nil
+}
+
+// Name implements Runner.
+func (d *Decoupled) Name() string { return "Decoupled" }
+
+// levelFor maps a device class to the index of the largest level model the
+// class can afford (Decoupled assumes resource classes are known).
+func levelFor(class core.DeviceClass) int {
+	switch class {
+	case core.Strong:
+		return 2
+	case core.Medium:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Round selects K clients uniformly; each trains its class's level model,
+// and aggregation happens strictly within levels.
+func (d *Decoupled) Round() error {
+	sel := pickClients(d.rng, len(d.setup.Clients), d.setup.K)
+	states := make([]nn.State, len(sel))
+	errs := make([]error, len(sel))
+	lvls := make([]int, len(sel))
+	seeds := make([]int64, len(sel))
+	for i, c := range sel {
+		lvls[i] = levelFor(d.setup.Clients[c].Device.Class)
+		seeds[i] = d.rng.Int63()
+	}
+	runParallel(len(sel), d.setup.Parallelism, func(i int) {
+		client := d.setup.Clients[sel[i]]
+		rng := rand.New(rand.NewSource(seeds[i]))
+		lv := lvls[i]
+		states[i], errs[i] = core.TrainLocal(d.setup.Model, d.levels[lv].Widths, d.globals[lv], client.Data, d.setup.Train, rng)
+	})
+	updates := make([][]agg.Update, len(d.levels))
+	for i := range sel {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		lv := lvls[i]
+		updates[lv] = append(updates[lv], agg.Update{State: states[i], Weight: float64(d.setup.Clients[sel[i]].Data.Len())})
+	}
+	for lv := range d.levels {
+		if len(updates[lv]) == 0 {
+			continue
+		}
+		next, err := agg.Aggregate(d.globals[lv], updates[lv])
+		if err != nil {
+			return err
+		}
+		d.globals[lv] = next
+	}
+	return nil
+}
+
+// Evaluate reports each level model's accuracy; "full" is the L_1 model.
+func (d *Decoupled) Evaluate(test *data.Dataset, batch int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for i, lvl := range d.levels {
+		m, err := models.Build(d.setup.Model, lvl.Widths)
+		if err != nil {
+			return nil, err
+		}
+		if err := nn.LoadState(m, d.globals[i]); err != nil {
+			return nil, err
+		}
+		acc := eval.Accuracy(m, test, batch)
+		out[lvl.Name()] = acc
+		if lvl.Level == prune.LevelL {
+			out["full"] = acc
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+)
+
+// AllLarge is classic FedAvg training the unpruned L_1 model on every
+// selected client, ignoring resource constraints — the paper's upper
+// baseline ("All-Large [1]").
+type AllLarge struct {
+	setup  Setup
+	global nn.State
+	rng    *rand.Rand
+}
+
+// NewAllLarge builds the FedAvg baseline.
+func NewAllLarge(s Setup) (*AllLarge, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	full, err := models.Build(s.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &AllLarge{setup: s, global: nn.StateDict(full), rng: rand.New(rand.NewSource(s.Seed))}, nil
+}
+
+// Name implements Runner.
+func (a *AllLarge) Name() string { return "All-Large" }
+
+// Round selects K clients uniformly and FedAvg-aggregates full models.
+func (a *AllLarge) Round() error {
+	sel := pickClients(a.rng, len(a.setup.Clients), a.setup.K)
+	states := make([]nn.State, len(sel))
+	errs := make([]error, len(sel))
+	seeds := make([]int64, len(sel))
+	for i := range sel {
+		seeds[i] = a.rng.Int63()
+	}
+	runParallel(len(sel), a.setup.Parallelism, func(i int) {
+		client := a.setup.Clients[sel[i]]
+		rng := rand.New(rand.NewSource(seeds[i]))
+		states[i], errs[i] = core.TrainLocal(a.setup.Model, nil, a.global, client.Data, a.setup.Train, rng)
+	})
+	var updates []agg.Update
+	for i := range sel {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		updates = append(updates, agg.Update{State: states[i], Weight: float64(a.setup.Clients[sel[i]].Data.Len())})
+	}
+	next, err := agg.Aggregate(a.global, updates)
+	if err != nil {
+		return err
+	}
+	a.global = next
+	return nil
+}
+
+// Evaluate reports the full-model accuracy (All-Large has no submodels).
+func (a *AllLarge) Evaluate(test *data.Dataset, batch int) (map[string]float64, error) {
+	m, err := models.Build(a.setup.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadState(m, a.global); err != nil {
+		return nil, err
+	}
+	return map[string]float64{"full": eval.Accuracy(m, test, batch)}, nil
+}
+
+// Global exposes the current global state.
+func (a *AllLarge) Global() nn.State { return a.global }

@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+)
+
+// HeteroFL is Diao et al.'s static width-scaling baseline: nested
+// submodels obtained by shrinking every layer of the global model by a
+// fixed rate, with each client statically assigned the rate its resource
+// class affords. Width rates are the square roots of the target size
+// ratios (channel scaling shrinks parameters quadratically), so the three
+// submodels weigh ≈1.0×, 0.5× and 0.25× of the full model — the sizes the
+// paper's Figure 3 compares.
+type HeteroFL struct {
+	setup  Setup
+	rates  []float64 // ascending width rates per level: S, M, L
+	widths [][]int
+	global nn.State
+	rng    *rand.Rand
+}
+
+// NewHeteroFL builds the baseline with size ratios {0.25, 0.5, 1.0}.
+func NewHeteroFL(s Setup) (*HeteroFL, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	full, err := models.Build(s.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	h := &HeteroFL{
+		setup:  s,
+		rates:  []float64{math.Sqrt(0.25), math.Sqrt(0.5), 1.0},
+		global: nn.StateDict(full),
+		rng:    rand.New(rand.NewSource(s.Seed)),
+	}
+	spec := s.Model.Spec()
+	for _, r := range h.rates {
+		// I = 0: HeteroFL's coarse scaling prunes every layer.
+		h.widths = append(h.widths, prune.PlanWidths(spec.FullWidths, r, 0))
+	}
+	return h, nil
+}
+
+// Name implements Runner.
+func (h *HeteroFL) Name() string { return "HeteroFL" }
+
+// rateFor statically maps device classes to width-rate indices.
+func rateFor(class core.DeviceClass) int {
+	switch class {
+	case core.Strong:
+		return 2
+	case core.Medium:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Round selects K clients uniformly; each trains its class's submodel, and
+// the overlap-averaged aggregation merges them into the global model.
+func (h *HeteroFL) Round() error {
+	sel := pickClients(h.rng, len(h.setup.Clients), h.setup.K)
+	states := make([]nn.State, len(sel))
+	errs := make([]error, len(sel))
+	seeds := make([]int64, len(sel))
+	for i := range sel {
+		seeds[i] = h.rng.Int63()
+	}
+	runParallel(len(sel), h.setup.Parallelism, func(i int) {
+		client := h.setup.Clients[sel[i]]
+		rng := rand.New(rand.NewSource(seeds[i]))
+		widths := h.widths[rateFor(client.Device.Class)]
+		states[i], errs[i] = core.TrainLocal(h.setup.Model, widths, h.global, client.Data, h.setup.Train, rng)
+	})
+	var updates []agg.Update
+	for i := range sel {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		updates = append(updates, agg.Update{State: states[i], Weight: float64(h.setup.Clients[sel[i]].Data.Len())})
+	}
+	next, err := agg.Aggregate(h.global, updates)
+	if err != nil {
+		return err
+	}
+	h.global = next
+	return nil
+}
+
+// Evaluate extracts the three nested submodels from the global weights and
+// reports their accuracies (keys S1/M1/L1 by analogy; "full" = 1.0 rate).
+func (h *HeteroFL) Evaluate(test *data.Dataset, batch int) (map[string]float64, error) {
+	names := []string{"S1", "M1", "L1"}
+	out := map[string]float64{}
+	for i, widths := range h.widths {
+		m, err := models.Build(h.setup.Model, widths)
+		if err != nil {
+			return nil, err
+		}
+		st, err := prune.ExtractForModel(h.global, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := nn.LoadState(m, st); err != nil {
+			return nil, err
+		}
+		acc := eval.Accuracy(m, test, batch)
+		out[names[i]] = acc
+		if h.rates[i] == 1.0 {
+			out["full"] = acc
+		}
+	}
+	return out, nil
+}

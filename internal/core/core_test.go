@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/rl"
+	"adaptivefl/internal/tensor"
+)
+
+func testModelCfg() models.Config {
+	return models.Config{Arch: models.ResNet18, NumClasses: 4, WidthScale: 0.07, Seed: 3}
+}
+
+func testPool(t *testing.T) *prune.Pool {
+	t.Helper()
+	pool, err := prune.BuildPool(testModelCfg(), prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func testClients(t *testing.T, n int, pool *prune.Pool) ([]*Client, *data.Dataset) {
+	t.Helper()
+	cfg := data.SynthConfig{Name: "t", Classes: 4, Channels: 3, Size: 32,
+		Train: n * 24, Test: 80, Noise: 0.3, MaxShift: 1, Seed: 11}
+	train, test := data.Generate(cfg)
+	rng := rand.New(rand.NewSource(5))
+	parts := data.PartitionIID(rng, train.Len(), n)
+	devices := NewPopulation(rng, n, [3]float64{4, 3, 3}, pool, DefaultDeviceModel())
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = &Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
+	}
+	return clients, test
+}
+
+func quickTrain() TrainConfig {
+	return TrainConfig{LocalEpochs: 1, BatchSize: 12, LR: 0.02, Momentum: 0.5}
+}
+
+func TestDeviceClassCapacities(t *testing.T) {
+	pool := testPool(t)
+	rng := rand.New(rand.NewSource(1))
+	devices := NewPopulation(rng, 100, [3]float64{4, 3, 3}, pool, DefaultDeviceModel())
+	counts := map[DeviceClass]int{}
+	for _, d := range devices {
+		counts[d.Class]++
+	}
+	if counts[Weak] != 40 || counts[Medium] != 30 || counts[Strong] != 30 {
+		t.Fatalf("class mix %v, want 40/30/30", counts)
+	}
+	s, m, l := anchorSizes(pool)
+	if !(s < m && m < l) {
+		t.Fatalf("anchors not ordered: %d %d %d", s, m, l)
+	}
+	for _, d := range devices {
+		cap := d.Capacity()
+		switch d.Class {
+		case Weak:
+			if cap >= m {
+				t.Fatalf("weak capacity %d can fit an M model (%d)", cap, m)
+			}
+		case Medium:
+			if cap >= l {
+				t.Fatalf("medium capacity %d can fit L1 (%d)", cap, l)
+			}
+			if cap < s {
+				t.Fatalf("medium capacity %d below S anchor", cap)
+			}
+		case Strong:
+			if cap < m {
+				t.Fatalf("strong capacity %d below M anchor", cap)
+			}
+		}
+	}
+}
+
+func TestDeviceCapacityJitters(t *testing.T) {
+	d := &Device{Class: Weak, Base: 1000, Jitter: 0.2, rng: rand.New(rand.NewSource(2))}
+	seen := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		c := d.Capacity()
+		if c < 800 || c > 1200 {
+			t.Fatalf("capacity %d outside jitter band", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 10 {
+		t.Fatal("capacity does not vary")
+	}
+	fixed := &Device{Base: 500}
+	if fixed.Capacity() != 500 {
+		t.Fatal("zero jitter must return base")
+	}
+}
+
+func TestNewPopulationProportions(t *testing.T) {
+	pool := testPool(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, props := range [][3]float64{{8, 1, 1}, {1, 8, 1}, {1, 1, 8}} {
+		devices := NewPopulation(rng, 50, props, pool, DefaultDeviceModel())
+		counts := map[DeviceClass]int{}
+		for _, d := range devices {
+			counts[d.Class]++
+		}
+		dominant := Weak
+		if props[1] == 8 {
+			dominant = Medium
+		} else if props[2] == 8 {
+			dominant = Strong
+		}
+		if counts[dominant] != 40 {
+			t.Fatalf("props %v: dominant class has %d devices, want 40", props, counts[dominant])
+		}
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	pool := testPool(t)
+	clients, _ := testClients(t, 4, pool)
+	base := Config{Model: testModelCfg(), Pool: prune.Config{P: 3}, ClientsPerRound: 2, Train: quickTrain()}
+	if _, err := NewServer(base, nil); err == nil {
+		t.Fatal("expected error for no clients")
+	}
+	bad := base
+	bad.ClientsPerRound = 9
+	if _, err := NewServer(bad, clients); err == nil {
+		t.Fatal("expected error for K > population")
+	}
+	bad = base
+	bad.Train.BatchSize = 0
+	if _, err := NewServer(bad, clients); err == nil {
+		t.Fatal("expected error for bad train config")
+	}
+	if _, err := NewServer(base, clients); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRoundUpdatesGlobalAndTables(t *testing.T) {
+	pool := testPool(t)
+	clients, _ := testClients(t, 6, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 3, Train: quickTrain(), Seed: 7,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Global().Clone()
+	if err := srv.Round(); err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Global()
+	changed := false
+	for name, v := range after {
+		for i := range v.Data {
+			if v.Data[i] != before[name].Data[i] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("global state unchanged after a round")
+	}
+	st := srv.Stats()
+	if len(st) != 1 || len(st[0].Dispatches) != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].SentParams <= 0 || st[0].ReturnedParams <= 0 {
+		t.Fatalf("ledger empty: %+v", st[0])
+	}
+	// Returned models never exceed what was sent.
+	for _, d := range st[0].Dispatches {
+		if !d.Failed && d.Got.Size > d.Sent.Size {
+			t.Fatalf("returned model larger than sent: %+v", d)
+		}
+	}
+}
+
+func TestRoundClientsUniquePerRound(t *testing.T) {
+	pool := testPool(t)
+	clients, _ := testClients(t, 8, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 8, Train: quickTrain(), Seed: 9,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Round(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, d := range srv.Stats()[0].Dispatches {
+		if seen[d.Client] {
+			t.Fatalf("client %d selected twice in one round", d.Client)
+		}
+		seen[d.Client] = true
+	}
+}
+
+func TestGreedyDispatchesOnlyL1(t *testing.T) {
+	pool := testPool(t)
+	clients, _ := testClients(t, 6, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 4, Train: quickTrain(), Seed: 11, Greedy: true,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Round(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range srv.Stats()[0].Dispatches {
+		if d.Sent.Level != prune.LevelL {
+			t.Fatalf("greedy sent %s, want L1", d.Sent.Name())
+		}
+	}
+	// Greedy wastes communication: weak/medium devices pruned locally.
+	if w := CommWasteRate(srv.Stats()); w <= 0 {
+		t.Fatalf("greedy waste = %v, want > 0", w)
+	}
+}
+
+func TestWeakDevicesForceLocalPruning(t *testing.T) {
+	pool := testPool(t)
+	// All-weak population receiving L1 must return S-level models.
+	cfgData := data.SynthConfig{Name: "t", Classes: 4, Channels: 3, Size: 32, Train: 48, Test: 10, Noise: 0.3, Seed: 13}
+	train, _ := data.Generate(cfgData)
+	rng := rand.New(rand.NewSource(14))
+	devices := NewPopulation(rng, 4, [3]float64{1, 0, 0}, pool, DefaultDeviceModel())
+	parts := data.PartitionIID(rng, train.Len(), 4)
+	clients := make([]*Client, 4)
+	for i := range clients {
+		clients[i] = &Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
+	}
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 4, Train: quickTrain(), Seed: 15, Greedy: true,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Round(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range srv.Stats()[0].Dispatches {
+		if d.Failed {
+			continue
+		}
+		if d.Got.Level != prune.LevelS {
+			t.Fatalf("weak device returned %s, want S-level", d.Got.Name())
+		}
+	}
+}
+
+func TestSubmodelByName(t *testing.T) {
+	pool := testPool(t)
+	clients, _ := testClients(t, 4, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 2, Train: quickTrain(), Seed: 17,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S1", "M1", "L1"} {
+		m, err := srv.SubmodelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(18))
+		y := m.Forward(tensor.Randn(rng, 1, 1, 3, 32, 32), false)
+		if y.Shape[1] != 4 {
+			t.Fatalf("%s output shape %v", name, y.Shape)
+		}
+	}
+	if _, err := srv.SubmodelByName("Z9"); err == nil {
+		t.Fatal("expected error for unknown submodel")
+	}
+}
+
+func TestCommWasteRate(t *testing.T) {
+	stats := []RoundStats{
+		{SentParams: 100, ReturnedParams: 80},
+		{SentParams: 100, ReturnedParams: 60},
+	}
+	if w := CommWasteRate(stats); math.Abs(w-0.3) > 1e-12 {
+		t.Fatalf("waste = %v, want 0.3", w)
+	}
+	if w := CommWasteRate(nil); w != 0 {
+		t.Fatalf("empty waste = %v", w)
+	}
+}
+
+func TestRLSelectionReducesWasteVsRandom(t *testing.T) {
+	// After a burn-in, RL-CS should dispatch large models to weak devices
+	// less often than Random does, lowering the waste rate.
+	run := func(mode rl.Mode, seed int64) float64 {
+		pool := testPool(t)
+		clients, _ := testClients(t, 10, pool)
+		srv, err := NewServer(Config{
+			Model: testModelCfg(), Pool: prune.Config{P: 3}, Mode: mode,
+			ClientsPerRound: 5, Train: TrainConfig{LocalEpochs: 1, BatchSize: 24, LR: 0.02, Momentum: 0}, Seed: seed,
+		}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Run(12, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Ignore the first rounds (exploration).
+		return CommWasteRate(srv.Stats()[4:])
+	}
+	wasteRL := (run(rl.ModeCS, 21) + run(rl.ModeCS, 22) + run(rl.ModeCS, 23)) / 3
+	wasteRnd := (run(rl.ModeRandom, 21) + run(rl.ModeRandom, 22) + run(rl.ModeRandom, 23)) / 3
+	if wasteRL >= wasteRnd {
+		t.Fatalf("RL-CS waste %.3f should be below Random %.3f", wasteRL, wasteRnd)
+	}
+}
+
+func TestFederatedTrainingImproves(t *testing.T) {
+	pool := testPool(t)
+	clients, test := testClients(t, 8, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 4, Train: TrainConfig{LocalEpochs: 2, BatchSize: 12, LR: 0.12, Momentum: 0.5}, Seed: 31,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := srv.GlobalModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore := eval.Accuracy(m0, test, 40)
+	// Heterogeneous FL has a warm-up phase: the full model's deep channels
+	// stay at their random initialisation until enough L-level dispatches
+	// have trained them, so give the run enough rounds to take off.
+	if err := srv.Run(14, nil); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := srv.GlobalModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accAfter := eval.Accuracy(m1, test, 40)
+	if accAfter <= accBefore+0.15 {
+		t.Fatalf("accuracy %.3f -> %.3f: federated training did not improve", accBefore, accAfter)
+	}
+}
+
+func TestTrainLocalRejectsBadConfig(t *testing.T) {
+	if _, err := TrainLocal(testModelCfg(), nil, nil, nil, TrainConfig{}, nil); err == nil {
+		t.Fatal("expected error for zero train config")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Same seeds must reproduce the exact global state, goroutines or not.
+	run := func() map[string]float64 {
+		pool := testPool(t)
+		clients, _ := testClients(t, 6, pool)
+		srv, err := NewServer(Config{
+			Model: testModelCfg(), Pool: prune.Config{P: 3},
+			ClientsPerRound: 3, Train: quickTrain(), Seed: 41, Parallelism: 3,
+		}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Run(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		sums := map[string]float64{}
+		for name, v := range srv.Global() {
+			sums[name] = v.Sum()
+		}
+		return sums
+	}
+	a, b := run(), run()
+	for name, v := range a {
+		if b[name] != v {
+			t.Fatalf("parameter %q differs across identical runs", name)
+		}
+	}
+}

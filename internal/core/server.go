@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/rl"
+)
+
+// Config assembles an AdaptiveFL experiment.
+type Config struct {
+	Model models.Config
+	Pool  prune.Config
+	RL    rl.Config
+	// Mode is the client-selection strategy (RL-CS by default; RL-C, RL-S
+	// and Random are the paper's Figure 5 ablations).
+	Mode rl.Mode
+	// Greedy dispatches the unpruned L_1 to every slot instead of random
+	// pool members (the "AdaptiveFL+Greedy" ablation).
+	Greedy bool
+	// ClientsPerRound is K, the number of dispatches per round.
+	ClientsPerRound int
+	Train           TrainConfig
+	Seed            int64
+	// Parallelism bounds concurrent local trainers (Algorithm 1's
+	// parallel for). 0 means K.
+	Parallelism int
+	// Trainer overrides how dispatches are executed. Nil uses in-process
+	// training on the client's dataset; internal/fednet provides an
+	// HTTP-backed implementation for networked device agents.
+	Trainer Trainer
+}
+
+// TrainResult is the outcome of one dispatch: the trained submodel state,
+// the sample count used as the aggregation weight, which pool member the
+// device actually trained (after on-device pruning), and whether the
+// device failed to fit any derivable member.
+type TrainResult struct {
+	State   nn.State
+	Samples int
+	Got     prune.Submodel
+	Failed  bool
+}
+
+// Trainer executes Steps 4-5 of Algorithm 1 for one dispatch: on-device
+// resource-aware pruning of the received submodel followed by local
+// training. sentState is the dispatched weight slice.
+type Trainer interface {
+	TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error)
+}
+
+// Dispatch records one slot of one round, for communication accounting.
+type Dispatch struct {
+	Client    int
+	Sent, Got prune.Submodel
+	Failed    bool // device could not fit any derivable pool member
+}
+
+// RoundStats aggregates one round's communication ledger.
+type RoundStats struct {
+	Round      int
+	Dispatches []Dispatch
+	// SentParams / ReturnedParams sum trainable parameter counts of the
+	// dispatched and returned models (the unit behind the paper's
+	// communication-waste rate).
+	SentParams, ReturnedParams int64
+}
+
+// Server is the AdaptiveFL cloud server.
+type Server struct {
+	cfg     Config
+	pool    *prune.Pool
+	tables  *rl.Tables
+	clients []*Client
+	global  nn.State
+	rng     *rand.Rand
+	round   int
+	stats   []RoundStats
+}
+
+// NewServer validates the configuration, builds the model pool, the RL
+// tables and the initial full-width global model.
+func NewServer(cfg Config, clients []*Client) (*Server, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("core: no clients")
+	}
+	if cfg.ClientsPerRound < 1 {
+		return nil, fmt.Errorf("core: ClientsPerRound must be >= 1")
+	}
+	if cfg.ClientsPerRound > len(clients) {
+		return nil, fmt.Errorf("core: ClientsPerRound %d exceeds population %d", cfg.ClientsPerRound, len(clients))
+	}
+	if err := cfg.Train.validate(); err != nil {
+		return nil, err
+	}
+	pool, err := prune.BuildPool(cfg.Model, cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	full, err := models.Build(cfg.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		tables:  rl.NewTables(cfg.RL, pool.P, len(pool.Members), len(clients)),
+		clients: clients,
+		global:  nn.StateDict(full),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return s, nil
+}
+
+// Pool exposes the model pool (read-only use intended).
+func (s *Server) Pool() *prune.Pool { return s.pool }
+
+// Tables exposes the RL tables (read-only use intended).
+func (s *Server) Tables() *rl.Tables { return s.tables }
+
+// Global returns the current global state dict (not a copy).
+func (s *Server) Global() nn.State { return s.global }
+
+// Stats returns the per-round communication ledger.
+func (s *Server) Stats() []RoundStats { return s.stats }
+
+// GlobalModel materialises the current global model at full width.
+func (s *Server) GlobalModel() (*models.Model, error) {
+	m, err := models.Build(s.cfg.Model, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadState(m, s.global); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SubmodelByName materialises the pool member with the given paper name
+// (e.g. "M1") from the current global weights.
+func (s *Server) SubmodelByName(name string) (*models.Model, error) {
+	for _, mem := range s.pool.Members {
+		if mem.Name() == name {
+			st, err := s.pool.ExtractState(s.global, mem)
+			if err != nil {
+				return nil, err
+			}
+			m, err := models.Build(s.cfg.Model, mem.Widths)
+			if err != nil {
+				return nil, err
+			}
+			if err := nn.LoadState(m, st); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no pool member %q", name)
+}
+
+// localResult carries one slot's training outcome back to the server.
+type localResult struct {
+	slot    int
+	state   nn.State
+	samples int
+	got     prune.Submodel
+	failed  bool
+	err     error
+}
+
+// Round executes one FL round of Algorithm 1: split (the pool is static —
+// weights are sliced per dispatch), random model selection, RL client
+// selection, parallel local training with on-device pruning, RL table
+// updates, and heterogeneous aggregation.
+func (s *Server) Round() error {
+	s.round++
+	k := s.cfg.ClientsPerRound
+	stats := RoundStats{Round: s.round}
+
+	// Phase 1 — model and client selection (sequential; candidates shrink
+	// so a client trains at most one model per round).
+	type slot struct {
+		sent   prune.Submodel
+		client int
+	}
+	slots := make([]slot, k)
+	candidates := s.rng.Perm(len(s.clients))
+	for i := 0; i < k; i++ {
+		var sent prune.Submodel
+		if s.cfg.Greedy {
+			sent = s.pool.Largest()
+		} else {
+			sent = s.pool.Members[s.rng.Intn(len(s.pool.Members))] // RandomSel
+		}
+		c := s.tables.SelectClient(s.rng, s.cfg.Mode, sent, s.pool, candidates)
+		// Remove c from candidates.
+		for j, cand := range candidates {
+			if cand == c {
+				candidates = append(candidates[:j], candidates[j+1:]...)
+				break
+			}
+		}
+		slots[i] = slot{sent: sent, client: c}
+	}
+
+	// Phase 2 — parallel local training.
+	par := s.cfg.Parallelism
+	if par <= 0 || par > k {
+		par = k
+	}
+	results := make([]localResult, k)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		seed := s.rng.Int63()
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.trainSlot(slots[i].client, slots[i].sent, seed)
+			results[i].slot = i
+		}(i, seed)
+	}
+	wg.Wait()
+
+	// Phase 3 — RL table updates, ledger, aggregation.
+	var updates []agg.Update
+	for i, res := range results {
+		if res.err != nil {
+			return fmt.Errorf("core: round %d client %d: %w", s.round, slots[i].client, res.err)
+		}
+		d := Dispatch{Client: slots[i].client, Sent: slots[i].sent, Got: res.got, Failed: res.failed}
+		stats.Dispatches = append(stats.Dispatches, d)
+		stats.SentParams += slots[i].sent.Size
+		if res.failed {
+			// Nothing came back; the dispatch was pure waste. Record the
+			// smallest member as the observed return for the tables so
+			// the selector learns to avoid this client for large models.
+			s.tables.RecordDispatch(slots[i].sent, s.pool.Smallest(), slots[i].client)
+			continue
+		}
+		stats.ReturnedParams += res.got.Size
+		s.tables.RecordDispatch(slots[i].sent, res.got, slots[i].client)
+		updates = append(updates, agg.Update{State: res.state, Weight: float64(res.samples)})
+	}
+	s.stats = append(s.stats, stats)
+	if len(updates) > 0 {
+		next, err := agg.Aggregate(s.global, updates)
+		if err != nil {
+			return fmt.Errorf("core: round %d aggregate: %w", s.round, err)
+		}
+		s.global = next
+	}
+	return nil
+}
+
+// trainSlot performs Step 4/5 for one dispatch, delegating to the
+// configured Trainer (default: in-process on the client's dataset).
+func (s *Server) trainSlot(clientID int, sent prune.Submodel, seed int64) localResult {
+	st, err := s.pool.ExtractState(s.global, sent)
+	if err != nil {
+		return localResult{err: err}
+	}
+	trainer := s.cfg.Trainer
+	if trainer == nil {
+		trainer = localTrainer{s}
+	}
+	res, err := trainer.TrainDispatch(clientID, sent, st, seed)
+	if err != nil {
+		return localResult{err: err}
+	}
+	if res.Failed {
+		return localResult{failed: true, got: sent}
+	}
+	return localResult{state: res.State, samples: res.Samples, got: res.Got}
+}
+
+// localTrainer is the default in-process Trainer: it reads the client's
+// device capacity, prunes to the largest derivable pool member, and trains
+// on the client's local shard.
+type localTrainer struct{ s *Server }
+
+// TrainDispatch implements Trainer.
+func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error) {
+	client := lt.s.clients[clientID]
+	capacity := client.Device.Capacity()
+	got, ok := lt.s.pool.LargestFit(sent, capacity)
+	if !ok {
+		return TrainResult{Failed: true}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	return TrainResult{State: trained, Samples: client.Data.Len(), Got: got}, nil
+}
+
+// Run executes rounds and invokes cb (if non-nil) after each; cb returning
+// false stops early.
+func (s *Server) Run(rounds int, cb func(round int) bool) error {
+	for r := 0; r < rounds; r++ {
+		if err := s.Round(); err != nil {
+			return err
+		}
+		if cb != nil && !cb(s.round) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CommWasteRate computes the paper's communication-waste metric over all
+// recorded rounds: 1 − Σ size(returned) / Σ size(sent).
+func CommWasteRate(stats []RoundStats) float64 {
+	var sent, back int64
+	for _, st := range stats {
+		sent += st.SentParams
+		back += st.ReturnedParams
+	}
+	if sent == 0 {
+		return 0
+	}
+	return 1 - float64(back)/float64(sent)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+)
+
+// TrainConfig holds the local-training hyperparameters. The paper's
+// defaults are SGD with lr 0.01, momentum 0.5, batch 50, 5 local epochs.
+type TrainConfig struct {
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+}
+
+// DefaultTrainConfig returns the paper's local-training setup.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{LocalEpochs: 5, BatchSize: 50, LR: 0.01, Momentum: 0.5}
+}
+
+func (tc *TrainConfig) validate() error {
+	if tc.LocalEpochs < 1 || tc.BatchSize < 1 || tc.LR <= 0 {
+		return fmt.Errorf("core: invalid train config %+v", *tc)
+	}
+	return nil
+}
+
+// TrainLocal builds a model at the given widths, loads the (prefix-sliced)
+// state, runs LocalEpochs of SGD over the dataset and returns the trained
+// state. It is the LocalTrain(.) of Algorithm 1 and is shared by every
+// baseline.
+func TrainLocal(mcfg models.Config, widths []int, st nn.State, ds *data.Dataset, tc TrainConfig, rng *rand.Rand) (nn.State, error) {
+	if err := tc.validate(); err != nil {
+		return nil, err
+	}
+	model, err := models.Build(mcfg, widths)
+	if err != nil {
+		return nil, err
+	}
+	sliced, err := prune.ExtractForModel(st, model)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadState(model, sliced); err != nil {
+		return nil, err
+	}
+	opt := nn.NewSGD(tc.LR, tc.Momentum, tc.WeightDecay)
+	for epoch := 0; epoch < tc.LocalEpochs; epoch++ {
+		for _, batch := range ds.Batches(rng, tc.BatchSize) {
+			x, labels := ds.Gather(batch)
+			nn.ZeroGrads(model)
+			logits := model.Forward(x, true)
+			_, grad := nn.CrossEntropy(logits, labels)
+			model.Backward(grad)
+			opt.Step(model.Params())
+		}
+	}
+	return nn.StateDict(model), nil
+}

@@ -1,0 +1,193 @@
+// Package fednet runs AdaptiveFL over a real network, mirroring the
+// paper's test-bed deployment: each device runs an Agent — an HTTP service
+// owning its local data and resource state — and the cloud server executes
+// Algorithm 1 with an HTTPTrainer that dispatches submodels to agents and
+// collects the (possibly further pruned) trained submodels.
+//
+// The wire format is JSON envelopes carrying persist-encoded state dicts,
+// so a dispatch is one POST /train round trip. Device-side resource-aware
+// pruning happens inside the agent, exactly as in the paper: the server
+// never sees the device's capacity, only which model size came back.
+package fednet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/persist"
+	"adaptivefl/internal/prune"
+)
+
+// TrainRequest is the server→device dispatch payload.
+type TrainRequest struct {
+	// SentIndex identifies the dispatched pool member.
+	SentIndex int `json:"sent_index"`
+	// State is the persist-encoded weight slice of the dispatched model.
+	State []byte `json:"state"`
+	// Train carries the local hyperparameters.
+	Train core.TrainConfig `json:"train"`
+	// Seed makes local training reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// TrainResponse is the device→server upload payload.
+type TrainResponse struct {
+	// Failed reports that no derivable pool member fits the device.
+	Failed bool `json:"failed"`
+	// GotIndex identifies the pool member the device actually trained.
+	GotIndex int `json:"got_index"`
+	// State is the persist-encoded trained weights (empty when Failed).
+	State []byte `json:"state,omitempty"`
+	// Samples is the local dataset size (the aggregation weight).
+	Samples int `json:"samples"`
+}
+
+// Agent is the device-side service: it owns a data shard and a device
+// resource model, prunes received models to its currently available
+// capacity, trains them, and returns the result.
+type Agent struct {
+	Client *core.Client
+	Model  models.Config
+	Pool   *prune.Pool
+}
+
+// NewAgent builds a device agent. The pool is rebuilt from the model and
+// pool configuration so agents and server agree on member indices.
+func NewAgent(client *core.Client, mcfg models.Config, pcfg prune.Config) (*Agent, error) {
+	pool, err := prune.BuildPool(mcfg, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Client: client, Model: mcfg, Pool: pool}, nil
+}
+
+// ServeHTTP handles POST /train.
+func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "fednet: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req TrainRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := a.Train(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Train executes one dispatch on this device: resource-aware pruning of
+// the received model, local SGD, and state upload.
+func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
+	if req.SentIndex < 0 || req.SentIndex >= len(a.Pool.Members) {
+		return TrainResponse{}, fmt.Errorf("fednet: sent index %d outside pool", req.SentIndex)
+	}
+	sent := a.Pool.Members[req.SentIndex]
+	capacity := a.Client.Device.Capacity()
+	got, ok := a.Pool.LargestFit(sent, capacity)
+	if !ok {
+		return TrainResponse{Failed: true}, nil
+	}
+	st, err := persist.DecodeFromBytes(req.State)
+	if err != nil {
+		return TrainResponse{}, fmt.Errorf("fednet: decode dispatched state: %w", err)
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	trained, err := core.TrainLocal(a.Model, got.Widths, st, a.Client.Data, req.Train, rng)
+	if err != nil {
+		return TrainResponse{}, err
+	}
+	wire, err := persist.EncodeToBytes(trained)
+	if err != nil {
+		return TrainResponse{}, err
+	}
+	return TrainResponse{GotIndex: got.Index, State: wire, Samples: a.Client.Data.Len()}, nil
+}
+
+// HTTPTrainer implements core.Trainer by POSTing dispatches to per-client
+// agent URLs.
+type HTTPTrainer struct {
+	// URLs maps client ID to the agent's /train endpoint.
+	URLs []string
+	// Pool resolves returned member indices.
+	Pool *prune.Pool
+	// Train is forwarded to agents.
+	Train core.TrainConfig
+	// HTTPClient defaults to a client with a 5-minute timeout.
+	HTTPClient *http.Client
+}
+
+// NewHTTPTrainer builds a trainer for the given agent endpoints.
+func NewHTTPTrainer(urls []string, pool *prune.Pool, train core.TrainConfig) *HTTPTrainer {
+	return &HTTPTrainer{
+		URLs: urls, Pool: pool, Train: train,
+		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// TrainDispatch implements core.Trainer over HTTP.
+func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
+	if clientID < 0 || clientID >= len(t.URLs) {
+		return core.TrainResult{}, fmt.Errorf("fednet: no agent URL for client %d", clientID)
+	}
+	wire, err := persist.EncodeToBytes(sentState)
+	if err != nil {
+		return core.TrainResult{}, err
+	}
+	reqBody, err := json.Marshal(TrainRequest{
+		SentIndex: sent.Index, State: wire, Train: t.Train, Seed: seed,
+	})
+	if err != nil {
+		return core.TrainResult{}, err
+	}
+	httpResp, err := t.HTTPClient.Post(t.URLs[clientID], "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return core.TrainResult{}, fmt.Errorf("fednet: dispatch to client %d: %w", clientID, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1024))
+		return core.TrainResult{}, fmt.Errorf("fednet: client %d returned %s: %s", clientID, httpResp.Status, msg)
+	}
+	var resp TrainResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return core.TrainResult{}, err
+	}
+	if resp.Failed {
+		return core.TrainResult{Failed: true}, nil
+	}
+	if resp.GotIndex < 0 || resp.GotIndex >= len(t.Pool.Members) {
+		return core.TrainResult{}, fmt.Errorf("fednet: client %d returned bad member index %d", clientID, resp.GotIndex)
+	}
+	st, err := persist.DecodeFromBytes(resp.State)
+	if err != nil {
+		return core.TrainResult{}, fmt.Errorf("fednet: decode upload from client %d: %w", clientID, err)
+	}
+	return core.TrainResult{
+		State:   st,
+		Samples: resp.Samples,
+		Got:     t.Pool.Members[resp.GotIndex],
+	}, nil
+}
+
+var _ core.Trainer = (*HTTPTrainer)(nil)

@@ -1,0 +1,217 @@
+package fednet
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/persist"
+	"adaptivefl/internal/prune"
+)
+
+func testModelCfg() models.Config {
+	return models.Config{Arch: models.ResNet18, NumClasses: 4, WidthScale: 0.07, Seed: 3}
+}
+
+func buildClients(t *testing.T, n int) []*core.Client {
+	t.Helper()
+	pool, err := prune.BuildPool(testModelCfg(), prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := data.SynthConfig{Name: "t", Classes: 4, Channels: 3, Size: 32,
+		Train: n * 16, Test: 20, Noise: 0.3, Seed: 61}
+	train, _ := data.Generate(dcfg)
+	rng := rand.New(rand.NewSource(62))
+	parts := data.PartitionIID(rng, train.Len(), n)
+	devices := core.NewPopulation(rng, n, [3]float64{4, 3, 3}, pool, core.DefaultDeviceModel())
+	clients := make([]*core.Client, n)
+	for i := range clients {
+		clients[i] = &core.Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
+	}
+	return clients
+}
+
+func quickTrain() core.TrainConfig {
+	return core.TrainConfig{LocalEpochs: 1, BatchSize: 8, LR: 0.05, Momentum: 0.5}
+}
+
+// TestFederatedOverHTTPMatchesLocal spins one HTTP agent per client and
+// runs Algorithm 1 through the network stack; the resulting global model
+// must be identical to the in-process run with the same seeds. Device
+// jitter is disabled so both runs see the same capacities.
+func TestFederatedOverHTTPMatchesLocal(t *testing.T) {
+	mcfg := testModelCfg()
+	pcfg := prune.Config{P: 3}
+	clients := buildClients(t, 5)
+	for _, c := range clients {
+		c.Device.Jitter = 0
+	}
+
+	runLocal := func() map[string]float64 {
+		srv, err := core.NewServer(core.Config{
+			Model: mcfg, Pool: pcfg, ClientsPerRound: 3,
+			Train: quickTrain(), Seed: 63,
+		}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Run(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		sums := map[string]float64{}
+		for name, v := range srv.Global() {
+			sums[name] = v.Sum()
+		}
+		return sums
+	}
+
+	runHTTP := func() map[string]float64 {
+		urls := make([]string, len(clients))
+		for i, c := range clients {
+			agent, err := NewAgent(c, mcfg, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(agent)
+			defer ts.Close()
+			urls[i] = ts.URL
+		}
+		pool, err := prune.BuildPool(mcfg, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := core.NewServer(core.Config{
+			Model: mcfg, Pool: pcfg, ClientsPerRound: 3,
+			Train: quickTrain(), Seed: 63,
+			Trainer: NewHTTPTrainer(urls, pool, quickTrain()),
+		}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Run(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		sums := map[string]float64{}
+		for name, v := range srv.Global() {
+			sums[name] = v.Sum()
+		}
+		return sums
+	}
+
+	local, remote := runLocal(), runHTTP()
+	if len(local) != len(remote) {
+		t.Fatalf("parameter sets differ: %d vs %d", len(local), len(remote))
+	}
+	for name, v := range local {
+		if remote[name] != v {
+			t.Fatalf("parameter %q differs between local and HTTP runs", name)
+		}
+	}
+}
+
+func TestAgentPrunesToCapacity(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 1)
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a weak capacity: only S-level models fit.
+	sAnchor := pool.ByLevel(prune.LevelS)
+	clients[0].Device.Base = sAnchor[len(sAnchor)-1].Size
+	clients[0].Device.Jitter = 0
+
+	agent, err := NewAgent(clients[0], mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := buildGlobal(t, mcfg)
+	l1 := pool.Largest()
+	st, err := pool.ExtractState(global, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := encodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := agent.Train(TrainRequest{SentIndex: l1.Index, State: wire, Train: quickTrain(), Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed {
+		t.Fatal("agent failed unexpectedly")
+	}
+	if got := pool.Members[resp.GotIndex]; got.Level != prune.LevelS {
+		t.Fatalf("agent trained %s, want S-level under weak capacity", got.Name())
+	}
+}
+
+func TestAgentReportsFailure(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 1)
+	clients[0].Device.Base = 1 // nothing fits
+	clients[0].Device.Jitter = 0
+	agent, err := NewAgent(clients[0], mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := buildGlobal(t, mcfg)
+	l1 := agent.Pool.Largest()
+	st, err := agent.Pool.ExtractState(global, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := encodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := agent.Train(TrainRequest{SentIndex: l1.Index, State: wire, Train: quickTrain(), Seed: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Failed {
+		t.Fatal("agent should report failure when nothing fits")
+	}
+}
+
+func TestAgentRejectsBadIndex(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 1)
+	agent, err := NewAgent(clients[0], mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(TrainRequest{SentIndex: 99}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestHTTPTrainerErrors(t *testing.T) {
+	pool, err := prune.BuildPool(testModelCfg(), prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewHTTPTrainer([]string{"http://127.0.0.1:1"}, pool, quickTrain())
+	if _, err := tr.TrainDispatch(5, pool.Largest(), nil, 1); err == nil {
+		t.Fatal("missing URL accepted")
+	}
+}
+
+// buildGlobal materialises a full-width global state for tests.
+func buildGlobal(t *testing.T, mcfg models.Config) nn.State {
+	t.Helper()
+	m, err := models.Build(mcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn.StateDict(m)
+}
+
+// encodeState wraps persist.EncodeToBytes for tests.
+func encodeState(st nn.State) ([]byte, error) { return persist.EncodeToBytes(st) }

@@ -1,0 +1,134 @@
+package models
+
+import "adaptivefl/internal/tensor"
+
+// CountStats computes Stats analytically from a width vector, without
+// allocating any weights. It mirrors the builders exactly (the package
+// tests cross-validate it against Model.Stats() on built models) and is
+// what the pruning machinery uses to size pool members and to run the
+// on-device resource-aware search cheaply even at paper scale.
+func CountStats(cfg Config, widths []int) Stats {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	spec := cfg.Spec()
+	if widths == nil {
+		widths = spec.FullWidths
+	}
+	switch cfg.Arch {
+	case VGG16:
+		return countVGG(cfg, widths)
+	case ResNet18:
+		return countResNet(cfg, spec, widths)
+	case MobileNetV2:
+		return countMobileNet(cfg, widths)
+	}
+	panic("unreachable")
+}
+
+func countVGG(cfg Config, widths []int) Stats {
+	var st Stats
+	in := int64(cfg.InChannels)
+	spatial := int64(cfg.InputSize)
+	for i := 0; i < 13; i++ {
+		out := int64(widths[i])
+		st.Params += out*in*9 + 2*out // conv + BN gamma/beta
+		st.MACs += out * in * 9 * spatial * spatial
+		in = out
+		if vggPoolAfter[i] {
+			spatial /= 2
+		}
+	}
+	features := in * spatial * spatial
+	fc1, fc2 := int64(widths[13]), int64(widths[14])
+	classes := int64(cfg.NumClasses)
+	st.Params += fc1*features + fc1
+	st.MACs += fc1 * features
+	st.Params += fc2*fc1 + fc2
+	st.MACs += fc2 * fc1
+	st.Params += classes*fc2 + classes
+	st.MACs += classes * fc2
+	return st
+}
+
+func countResNet(cfg Config, spec Spec, widths []int) Stats {
+	var st Stats
+	w1 := int64(widths[0])
+	spatial := int64(cfg.InputSize)
+	st.Params += w1*int64(cfg.InChannels)*9 + 2*w1
+	st.MACs += w1 * int64(cfg.InChannels) * 9 * spatial * spatial
+	in := w1
+	for stage := 0; stage < 4; stage++ {
+		out := int64(widths[stage])
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		outSp := spatial
+		if stride == 2 {
+			outSp = int64(tensor.ConvOutSize(int(spatial), 3, 2, 1))
+		}
+		// block1: conv1 (in->out, stride), conv2 (out->out), optional proj.
+		st.Params += out*in*9 + 2*out
+		st.MACs += out * in * 9 * outSp * outSp
+		st.Params += out*out*9 + 2*out
+		st.MACs += out * out * 9 * outSp * outSp
+		fullIn := spec.FullWidths[0]
+		if stage > 0 {
+			fullIn = spec.FullWidths[stage-1]
+		}
+		if stride != 1 || fullIn != spec.FullWidths[stage] {
+			st.Params += out*in + 2*out
+			st.MACs += out * in * outSp * outSp
+		}
+		// block2: two out->out convs.
+		st.Params += 2 * (out*out*9 + 2*out)
+		st.MACs += 2 * out * out * 9 * outSp * outSp
+		spatial = outSp
+		in = out
+	}
+	classes := int64(cfg.NumClasses)
+	st.Params += classes*in + classes
+	st.MACs += classes * in
+	return st
+}
+
+func countMobileNet(cfg Config, widths []int) Stats {
+	var st Stats
+	stemW := int64(widths[0])
+	spatial := int64(cfg.InputSize)
+	st.Params += stemW*int64(cfg.InChannels)*9 + 2*stemW
+	st.MACs += stemW * int64(cfg.InChannels) * 9 * spatial * spatial
+	in := stemW
+	for gi, g := range mobilenetGroups {
+		out := int64(widths[gi+1])
+		for bi := 0; bi < g.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = g.stride
+			}
+			hidden := in * int64(g.expand)
+			if g.expand != 1 {
+				st.Params += hidden*in + 2*hidden
+				st.MACs += hidden * in * spatial * spatial
+			}
+			outSp := spatial
+			if stride == 2 {
+				outSp = int64(tensor.ConvOutSize(int(spatial), 3, 2, 1))
+			}
+			st.Params += hidden*9 + 2*hidden
+			st.MACs += hidden * 9 * outSp * outSp
+			st.Params += out*hidden + 2*out
+			st.MACs += out * hidden * outSp * outSp
+			spatial = outSp
+			in = out
+		}
+	}
+	lastW := int64(widths[8])
+	st.Params += lastW*in + 2*lastW
+	st.MACs += lastW * in * spatial * spatial
+	classes := int64(cfg.NumClasses)
+	st.Params += classes*lastW + classes
+	st.MACs += classes * lastW
+	return st
+}

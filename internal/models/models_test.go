@@ -1,0 +1,290 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+func tinyCfg(arch Arch) Config {
+	return Config{Arch: arch, NumClasses: 5, InChannels: 3, InputSize: 32, WidthScale: 0.125, Seed: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{Arch: VGG16, NumClasses: 10}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.InputSize != 32 || c.WidthScale != 1 || c.InChannels != 3 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	bad := Config{Arch: "nope", NumClasses: 10}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for unknown arch")
+	}
+	small := Config{Arch: VGG16, NumClasses: 10, InputSize: 16}
+	if err := small.Validate(); err == nil {
+		t.Fatal("expected error for VGG16 with 16px input")
+	}
+	noClasses := Config{Arch: ResNet18}
+	if err := noClasses.Validate(); err == nil {
+		t.Fatal("expected error for zero classes")
+	}
+}
+
+func TestSpecShapes(t *testing.T) {
+	cases := []struct {
+		arch  Arch
+		units int
+		tau   int
+	}{
+		{VGG16, 15, 4},
+		{ResNet18, 4, 1},
+		{MobileNetV2, 9, 3},
+	}
+	for _, c := range cases {
+		spec := Config{Arch: c.arch, NumClasses: 10}.Spec()
+		if len(spec.FullWidths) != c.units {
+			t.Errorf("%s: %d width units, want %d", c.arch, len(spec.FullWidths), c.units)
+		}
+		if spec.Tau != c.tau {
+			t.Errorf("%s: tau %d, want %d", c.arch, spec.Tau, c.tau)
+		}
+		if len(spec.IChoices) != 3 {
+			t.Errorf("%s: %d I choices, want 3", c.arch, len(spec.IChoices))
+		}
+		for _, w := range spec.FullWidths {
+			if w < 1 {
+				t.Errorf("%s: non-positive width in spec", c.arch)
+			}
+		}
+	}
+}
+
+func TestBuildForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, arch := range []Arch{VGG16, ResNet18, MobileNetV2} {
+		cfg := tinyCfg(arch)
+		m := MustBuild(cfg, nil)
+		x := tensor.Randn(rng, 1, 2, 3, 32, 32)
+		y := m.Forward(x, false)
+		if y.Shape[0] != 2 || y.Shape[1] != cfg.NumClasses {
+			t.Errorf("%s: output shape %v, want [2 %d]", arch, y.Shape, cfg.NumClasses)
+		}
+	}
+}
+
+func TestBuildRejectsBadWidths(t *testing.T) {
+	cfg := tinyCfg(VGG16)
+	if _, err := Build(cfg, []int{1, 2}); err == nil {
+		t.Fatal("expected error for wrong width-vector length")
+	}
+	spec := cfg.Spec()
+	w := append([]int(nil), spec.FullWidths...)
+	w[0] = spec.FullWidths[0] + 1
+	if _, err := Build(cfg, w); err == nil {
+		t.Fatal("expected error for width above full")
+	}
+	w[0] = 0
+	if _, err := Build(cfg, w); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+}
+
+func TestParamNamesStableAcrossWidths(t *testing.T) {
+	for _, arch := range []Arch{VGG16, ResNet18, MobileNetV2} {
+		cfg := tinyCfg(arch)
+		spec := cfg.Spec()
+		full := MustBuild(cfg, nil)
+		halved := make([]int, len(spec.FullWidths))
+		for i, w := range spec.FullWidths {
+			halved[i] = (w + 1) / 2
+		}
+		small := MustBuild(cfg, halved)
+		fullNames := nn.StateDict(full).Names()
+		smallNames := nn.StateDict(small).Names()
+		if len(fullNames) != len(smallNames) {
+			t.Fatalf("%s: param count differs: %d vs %d", arch, len(fullNames), len(smallNames))
+		}
+		for i := range fullNames {
+			if fullNames[i] != smallNames[i] {
+				t.Fatalf("%s: name mismatch %q vs %q", arch, fullNames[i], smallNames[i])
+			}
+		}
+	}
+}
+
+func TestPrunedParamsArePrefixBlocks(t *testing.T) {
+	for _, arch := range []Arch{VGG16, ResNet18, MobileNetV2} {
+		cfg := tinyCfg(arch)
+		spec := cfg.Spec()
+		full := MustBuild(cfg, nil)
+		halved := make([]int, len(spec.FullWidths))
+		for i, w := range spec.FullWidths {
+			halved[i] = (w + 1) / 2
+		}
+		small := MustBuild(cfg, halved)
+		fullState := nn.StateDict(full)
+		for _, p := range small.Params() {
+			g := fullState[p.Name]
+			if g == nil {
+				t.Fatalf("%s: full model missing %q", arch, p.Name)
+			}
+			if !tensor.PrefixFits(p.Val, g) {
+				t.Fatalf("%s: %q shape %v not a prefix of %v", arch, p.Name, p.Val.Shape, g.Shape)
+			}
+		}
+	}
+}
+
+func TestCountStatsMatchesBuiltModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, arch := range []Arch{VGG16, ResNet18, MobileNetV2} {
+		cfg := tinyCfg(arch)
+		spec := cfg.Spec()
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			widths := make([]int, len(spec.FullWidths))
+			for i, w := range spec.FullWidths {
+				widths[i] = 1 + r.Intn(w)
+			}
+			m, err := Build(cfg, widths)
+			if err != nil {
+				return false
+			}
+			got := CountStats(cfg, widths)
+			want := m.Stats()
+			return got.Params == want.Params && got.MACs == want.MACs
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 8, Rand: rng}); err != nil {
+			t.Errorf("%s: analytic count disagrees with built model: %v", arch, err)
+		}
+	}
+}
+
+func TestFullScaleParamCounts(t *testing.T) {
+	// Paper-scale sanity anchors: VGG16 (Table 1) = 33.65M params and
+	// 333.22M MACs; ResNet18-CIFAR ≈ 11.17M; MobileNetV2 ≈ 2.3M.
+	vgg := CountStats(Config{Arch: VGG16, NumClasses: 10}, nil)
+	if rel := math.Abs(float64(vgg.Params)-33.65e6) / 33.65e6; rel > 0.01 {
+		t.Errorf("VGG16 params %d, want ~33.65M (rel err %.3f)", vgg.Params, rel)
+	}
+	if rel := math.Abs(float64(vgg.MACs)-333.22e6) / 333.22e6; rel > 0.015 {
+		t.Errorf("VGG16 MACs %d, want ~333.22M (rel err %.3f)", vgg.MACs, rel)
+	}
+	res := CountStats(Config{Arch: ResNet18, NumClasses: 10}, nil)
+	if rel := math.Abs(float64(res.Params)-11.17e6) / 11.17e6; rel > 0.02 {
+		t.Errorf("ResNet18 params %d, want ~11.17M (rel err %.3f)", res.Params, rel)
+	}
+	mob := CountStats(Config{Arch: MobileNetV2, NumClasses: 10}, nil)
+	if mob.Params < 2.0e6 || mob.Params > 2.6e6 {
+		t.Errorf("MobileNetV2 params %d, want ~2.2-2.4M", mob.Params)
+	}
+}
+
+func TestBasicBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, proj := range []bool{true, false} {
+		stride := 1
+		in, out := 3, 3
+		if proj {
+			stride, in, out = 2, 2, 3
+		}
+		b := newBasicBlock(rng, "b", in, out, stride, proj)
+		x := tensor.Randn(rng, 1, 2, in, 4, 4)
+		res := nn.CheckGradients(rng, b, x)
+		if res.MaxInputErr > 1e-6 || res.MaxParamErr > 1e-6 {
+			t.Errorf("basicBlock(proj=%v): grad errs %g/%g", proj, res.MaxInputErr, res.MaxParamErr)
+		}
+	}
+}
+
+func TestInvertedResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		name                    string
+		in, out, stride, expand int
+		residual                bool
+	}{
+		{"expand-residual", 3, 3, 1, 6, true},
+		{"expand-stride2", 2, 3, 2, 6, false},
+		{"no-expand", 3, 2, 1, 1, false},
+	} {
+		b := newInvertedResidual(rng, "m", tc.in, tc.out, tc.stride, tc.expand, tc.residual)
+		x := tensor.Randn(rng, 1, 2, tc.in, 4, 4)
+		res := nn.CheckGradients(rng, b, x)
+		if res.MaxInputErr > 1e-6 || res.MaxParamErr > 1e-6 {
+			t.Errorf("invertedResidual(%s): grad errs %g/%g", tc.name, res.MaxInputErr, res.MaxParamErr)
+		}
+	}
+}
+
+func TestExitPoints(t *testing.T) {
+	for _, arch := range []Arch{VGG16, ResNet18, MobileNetV2} {
+		m := MustBuild(tinyCfg(arch), nil)
+		if len(m.Exits) == 0 {
+			t.Errorf("%s: no exit points", arch)
+			continue
+		}
+		for _, e := range m.Exits {
+			if e.LayerIdx < 0 || e.LayerIdx >= len(m.Layers) {
+				t.Errorf("%s: exit index %d out of range", arch, e.LayerIdx)
+			}
+			if e.Channels < 1 || e.Spatial < 1 {
+				t.Errorf("%s: degenerate exit %+v", arch, e)
+			}
+		}
+	}
+}
+
+func TestModelsTrainToLowerLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, arch := range []Arch{ResNet18, MobileNetV2} {
+		cfg := tinyCfg(arch)
+		m := MustBuild(cfg, nil)
+		x := tensor.Randn(rng, 1, 8, 3, 32, 32)
+		labels := make([]int, 8)
+		for i := range labels {
+			labels[i] = rng.Intn(cfg.NumClasses)
+		}
+		opt := nn.NewSGD(0.02, 0.5, 0)
+		first, last := 0.0, 0.0
+		for step := 0; step < 12; step++ {
+			nn.ZeroGrads(m)
+			logits := m.Forward(x, true)
+			loss, grad := nn.CrossEntropy(logits, labels)
+			if step == 0 {
+				first = loss
+			}
+			last = loss
+			m.Backward(grad)
+			opt.Step(m.Params())
+		}
+		if last >= first {
+			t.Errorf("%s: loss did not decrease (%.4f -> %.4f)", arch, first, last)
+		}
+	}
+}
+
+func TestIsBufferName(t *testing.T) {
+	if !IsBufferName("stem.bn.running_mean") || !IsBufferName("x.running_var") {
+		t.Fatal("buffer names not recognised")
+	}
+	if IsBufferName("stem.bn.gamma") || IsBufferName("fc.weight") {
+		t.Fatal("trainable names misclassified")
+	}
+}
+
+func TestParamCountExcludesBuffers(t *testing.T) {
+	st := nn.State{
+		"a.weight":       tensor.New(2, 2),
+		"a.running_mean": tensor.New(2),
+	}
+	if got := ParamCount(st); got != 4 {
+		t.Fatalf("ParamCount = %d, want 4", got)
+	}
+}

@@ -1,0 +1,91 @@
+package models
+
+import (
+	"strings"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// Stats summarises a model's size and compute cost.
+type Stats struct {
+	Params int64 // trainable parameters (buffers excluded)
+	MACs   int64 // multiply-accumulates per forward pass (conv + linear)
+}
+
+// macCounter is implemented by composite blocks that know their own MAC
+// count and output spatial size.
+type macCounter interface {
+	countMACs(spatial int) (int64, int)
+}
+
+func convMACs(c *nn.Conv2D, spatial int) (int64, int) {
+	out := tensor.ConvOutSize(spatial, c.K, c.Stride, c.Pad)
+	macs := int64(c.OutC) * int64(c.InC) * int64(c.K*c.K) * int64(out*out)
+	return macs, out
+}
+
+func depthwiseMACs(d *nn.DepthwiseConv2D, spatial int) (int64, int) {
+	out := tensor.ConvOutSize(spatial, d.K, d.Stride, d.Pad)
+	macs := int64(d.C) * int64(d.K*d.K) * int64(out*out)
+	return macs, out
+}
+
+// Stats walks the layer chain, tracking spatial size, and returns the
+// trainable parameter count and the MAC count of one forward pass.
+// Batch-norm and activation costs are excluded, matching how the paper's
+// Table 1 reports #FLOPS (multiply-accumulates of conv and FC layers).
+func (m *Model) Stats() Stats {
+	var st Stats
+	for _, p := range m.Params() {
+		if !p.Buffer {
+			st.Params += int64(p.Val.Numel())
+		}
+	}
+	spatial := m.Cfg.InputSize
+	for _, l := range m.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			macs, out := convMACs(v, spatial)
+			st.MACs += macs
+			spatial = out
+		case *nn.DepthwiseConv2D:
+			macs, out := depthwiseMACs(v, spatial)
+			st.MACs += macs
+			spatial = out
+		case *nn.Linear:
+			st.MACs += int64(v.In) * int64(v.Out)
+		case *nn.MaxPool2D:
+			spatial = tensor.ConvOutSize(spatial, v.K, v.Stride, 0)
+		case *nn.AvgPool2D:
+			spatial = tensor.ConvOutSize(spatial, v.K, v.Stride, 0)
+		case *nn.GlobalAvgPool2D:
+			spatial = 1
+		case macCounter:
+			macs, out := v.countMACs(spatial)
+			st.MACs += macs
+			spatial = out
+		}
+	}
+	return st
+}
+
+// ParamCount returns the number of trainable parameters in a state dict,
+// identifying buffers by the naming convention used across this package
+// (running_mean / running_var).
+func ParamCount(st nn.State) int64 {
+	var n int64
+	for name, v := range st {
+		if IsBufferName(name) {
+			continue
+		}
+		n += int64(v.Numel())
+	}
+	return n
+}
+
+// IsBufferName reports whether a parameter name denotes a non-trainable
+// buffer under this package's naming convention.
+func IsBufferName(name string) bool {
+	return strings.HasSuffix(name, ".running_mean") || strings.HasSuffix(name, ".running_var")
+}

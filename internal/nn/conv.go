@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adaptivefl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with square kernels, implemented as
+// im2col + GEMM. Weight layout is [OutC, InC, K, K]; input batches are
+// [N, InC, H, W].
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	UseBias                   bool
+
+	weight, bias *Param
+
+	// forward cache
+	in   *tensor.Tensor
+	cols []*tensor.Tensor // per-sample im2col matrices
+	oh   int
+	ow   int
+}
+
+// NewConv2D builds a convolution layer with He-initialised weights. The
+// name prefixes the layer's parameter names ("<name>.weight").
+func NewConv2D(rng *rand.Rand, name string, inC, outC, k, stride, pad int, bias bool) *Conv2D {
+	fanIn := inC * k * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, UseBias: bias}
+	c.weight = newParam(name+".weight", tensor.Randn(rng, std, outC, inC, k, k))
+	if bias {
+		c.bias = newParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Forward computes the convolution over a batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, ci, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ci != c.InC {
+		panic(fmt.Sprintf("nn: conv %s expects %d input channels, got %d", c.weight.Name, c.InC, ci))
+	}
+	c.oh = tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
+	c.ow = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
+	c.in = x
+	if cap(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	c.cols = c.cols[:n]
+
+	out := tensor.New(n, c.OutC, c.oh, c.ow)
+	wm := c.weight.Val.Reshape(c.OutC, c.InC*c.K*c.K)
+	spatial := c.oh * c.ow
+	for s := 0; s < n; s++ {
+		if c.cols[s] == nil || c.cols[s].Shape[0] != c.InC*c.K*c.K || c.cols[s].Shape[1] != spatial {
+			c.cols[s] = tensor.New(c.InC*c.K*c.K, spatial)
+		}
+		xs := tensor.FromSlice(x.Data[s*ci*h*w:(s+1)*ci*h*w], ci, h, w)
+		tensor.Im2Col(xs, c.K, c.K, c.Stride, c.Pad, c.cols[s])
+		ys := tensor.FromSlice(out.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
+		tensor.Gemm(false, false, 1, wm, c.cols[s], 0, ys)
+		if c.UseBias {
+			for o := 0; o < c.OutC; o++ {
+				b := c.bias.Val.Data[o]
+				row := ys.Data[o*spatial : (o+1)*spatial]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW (and db) and returns dX.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	spatial := c.oh * c.ow
+	h, w := c.in.Shape[2], c.in.Shape[3]
+	dx := tensor.New(n, c.InC, h, w)
+	dwm := c.weight.Grad.Reshape(c.OutC, c.InC*c.K*c.K)
+	wm := c.weight.Val.Reshape(c.OutC, c.InC*c.K*c.K)
+	dcols := tensor.New(c.InC*c.K*c.K, spatial)
+	for s := 0; s < n; s++ {
+		gs := tensor.FromSlice(grad.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
+		// dW += gs · colsᵀ
+		tensor.Gemm(false, true, 1, gs, c.cols[s], 1, dwm)
+		// dcols = Wᵀ · gs
+		tensor.Gemm(true, false, 1, wm, gs, 0, dcols)
+		dxs := tensor.FromSlice(dx.Data[s*c.InC*h*w:(s+1)*c.InC*h*w], c.InC, h, w)
+		tensor.Col2Im(dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, dxs)
+		if c.UseBias {
+			for o := 0; o < c.OutC; o++ {
+				row := gs.Data[o*spatial : (o+1)*spatial]
+				s := 0.0
+				for _, v := range row {
+					s += v
+				}
+				c.bias.Grad.Data[o] += s
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the weight (and bias) parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.UseBias {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+// DepthwiseConv2D applies one K×K filter per channel (groups == channels),
+// the building block of MobileNetV2. Weight layout is [C, 1, K, K].
+type DepthwiseConv2D struct {
+	C, K, Stride, Pad int
+	UseBias           bool
+
+	weight, bias *Param
+	in           *tensor.Tensor
+	oh, ow       int
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution layer.
+func NewDepthwiseConv2D(rng *rand.Rand, name string, c, k, stride, pad int, bias bool) *DepthwiseConv2D {
+	std := math.Sqrt(2.0 / float64(k*k))
+	d := &DepthwiseConv2D{C: c, K: k, Stride: stride, Pad: pad, UseBias: bias}
+	d.weight = newParam(name+".weight", tensor.Randn(rng, std, c, 1, k, k))
+	if bias {
+		d.bias = newParam(name+".bias", tensor.New(c))
+	}
+	return d
+}
+
+// Forward computes the per-channel convolution.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != d.C {
+		panic(fmt.Sprintf("nn: depthwise %s expects %d channels, got %d", d.weight.Name, d.C, c))
+	}
+	d.in = x
+	d.oh = tensor.ConvOutSize(h, d.K, d.Stride, d.Pad)
+	d.ow = tensor.ConvOutSize(w, d.K, d.Stride, d.Pad)
+	out := tensor.New(n, c, d.oh, d.ow)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			xIn := x.Data[(s*c+ch)*h*w:]
+			ker := d.weight.Val.Data[ch*d.K*d.K:]
+			yOut := out.Data[(s*c+ch)*d.oh*d.ow:]
+			b := 0.0
+			if d.UseBias {
+				b = d.bias.Val.Data[ch]
+			}
+			idx := 0
+			for oi := 0; oi < d.oh; oi++ {
+				for oj := 0; oj < d.ow; oj++ {
+					acc := b
+					for ki := 0; ki < d.K; ki++ {
+						ii := oi*d.Stride - d.Pad + ki
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < d.K; kj++ {
+							jj := oj*d.Stride - d.Pad + kj
+							if jj >= 0 && jj < w {
+								acc += xIn[ii*w+jj] * ker[ki*d.K+kj]
+							}
+						}
+					}
+					yOut[idx] = acc
+					idx++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates per-channel filter gradients and returns dX.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	h, w := d.in.Shape[2], d.in.Shape[3]
+	dx := tensor.New(n, c, h, w)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			xIn := d.in.Data[(s*c+ch)*h*w:]
+			g := grad.Data[(s*c+ch)*d.oh*d.ow:]
+			ker := d.weight.Val.Data[ch*d.K*d.K:]
+			dker := d.weight.Grad.Data[ch*d.K*d.K:]
+			dxs := dx.Data[(s*c+ch)*h*w:]
+			idx := 0
+			gsum := 0.0
+			for oi := 0; oi < d.oh; oi++ {
+				for oj := 0; oj < d.ow; oj++ {
+					gv := g[idx]
+					idx++
+					if gv == 0 {
+						continue
+					}
+					gsum += gv
+					for ki := 0; ki < d.K; ki++ {
+						ii := oi*d.Stride - d.Pad + ki
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < d.K; kj++ {
+							jj := oj*d.Stride - d.Pad + kj
+							if jj >= 0 && jj < w {
+								dker[ki*d.K+kj] += gv * xIn[ii*w+jj]
+								dxs[ii*w+jj] += gv * ker[ki*d.K+kj]
+							}
+						}
+					}
+				}
+			}
+			if d.UseBias {
+				d.bias.Grad.Data[ch] += gsum
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the weight (and bias) parameters.
+func (d *DepthwiseConv2D) Params() []*Param {
+	if d.UseBias {
+		return []*Param{d.weight, d.bias}
+	}
+	return []*Param{d.weight}
+}

@@ -1,0 +1,47 @@
+package nn
+
+import "adaptivefl/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay — the optimizer the paper uses (lr 0.01, momentum 0.5).
+// Velocity buffers are keyed by parameter identity, so one SGD instance
+// follows a model through repeated Forward/Backward cycles.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD builds an optimizer with the given hyperparameters.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every trainable parameter and leaves
+// gradients untouched (call ZeroGrads before the next backward pass).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Buffer {
+			continue
+		}
+		g := p.Grad
+		if o.WeightDecay != 0 {
+			g = g.Clone()
+			g.AddScaled(o.WeightDecay, p.Val)
+		}
+		if o.Momentum != 0 {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = tensor.New(p.Val.Shape...)
+				o.velocity[p] = v
+			}
+			v.Scale(o.Momentum)
+			v.AddInPlace(g)
+			g = v
+		}
+		p.Val.AddScaled(-o.LR, g)
+	}
+}

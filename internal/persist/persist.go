@@ -1,0 +1,128 @@
+// Package persist serialises model states and experiment artefacts. FL
+// deployments checkpoint the global model between rounds and ship
+// submodels over the network; both use the same compact binary encoding
+// (gob of a stable, versioned envelope).
+package persist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// formatVersion guards against reading checkpoints written by an
+// incompatible release.
+const formatVersion = 1
+
+// envelope is the on-disk/wire representation of a state dict.
+type envelope struct {
+	Version int
+	Names   []string
+	Shapes  [][]int
+	Data    [][]float64
+}
+
+// EncodeState writes a state dict to w (gzip-compressed gob). Entries are
+// sorted by name so the encoding is deterministic.
+func EncodeState(w io.Writer, st nn.State) error {
+	names := st.Names()
+	env := envelope{Version: formatVersion, Names: names}
+	for _, name := range names {
+		t := st[name]
+		env.Shapes = append(env.Shapes, t.Shape)
+		env.Data = append(env.Data, t.Data)
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(env); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// DecodeState reads a state dict written by EncodeState.
+func DecodeState(r io.Reader) (nn.State, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: gzip: %w", err)
+	}
+	defer zr.Close()
+	var env envelope
+	if err := gob.NewDecoder(zr).Decode(&env); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("persist: version %d not supported (want %d)", env.Version, formatVersion)
+	}
+	if len(env.Names) != len(env.Shapes) || len(env.Names) != len(env.Data) {
+		return nil, fmt.Errorf("persist: corrupt envelope (%d names, %d shapes, %d tensors)",
+			len(env.Names), len(env.Shapes), len(env.Data))
+	}
+	if !sort.StringsAreSorted(env.Names) {
+		return nil, fmt.Errorf("persist: corrupt envelope (names not sorted)")
+	}
+	st := make(nn.State, len(env.Names))
+	for i, name := range env.Names {
+		n := 1
+		for _, d := range env.Shapes[i] {
+			if d < 0 {
+				return nil, fmt.Errorf("persist: negative dimension in %q", name)
+			}
+			n *= d
+		}
+		if n != len(env.Data[i]) {
+			return nil, fmt.Errorf("persist: %q has %d values for shape %v", name, len(env.Data[i]), env.Shapes[i])
+		}
+		st[name] = tensor.FromSlice(env.Data[i], env.Shapes[i]...)
+	}
+	return st, nil
+}
+
+// SaveState writes a state dict to path atomically (tmp file + rename).
+func SaveState(path string, st nn.State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := EncodeState(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadState reads a state dict from path.
+func LoadState(path string) (nn.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeState(f)
+}
+
+// EncodeToBytes is EncodeState into a fresh buffer (the network wire form).
+func EncodeToBytes(st nn.State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeState(&buf, st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFromBytes parses a wire-form state dict.
+func DecodeFromBytes(b []byte) (nn.State, error) {
+	return DecodeState(bytes.NewReader(b))
+}

@@ -1,0 +1,140 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+func sampleState(seed int64) nn.State {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.State{
+		"b.weight":         tensor.Randn(rng, 1, 3, 4),
+		"a.bias":           tensor.Randn(rng, 1, 5),
+		"c.running_mean":   tensor.Randn(rng, 1, 2),
+		"deep.conv.weight": tensor.Randn(rng, 1, 2, 2, 3, 3),
+	}
+}
+
+func statesEqual(a, b nn.State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, v := range a {
+		w, ok := b[name]
+		if !ok || !tensor.SameShape(v, w) {
+			return false
+		}
+		for i := range v.Data {
+			if v.Data[i] != w.Data[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState(1)
+	var buf bytes.Buffer
+	if err := EncodeState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(st, got) {
+		t.Fatal("round trip changed the state")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := EncodeToBytes(sampleState(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeToBytes(sampleState(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeFromBytes([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeFromBytes(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	st := sampleState(3)
+	if err := SaveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(st, got) {
+		t.Fatal("file round trip changed the state")
+	}
+	if _, err := LoadState(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFullModelCheckpoint(t *testing.T) {
+	// A realistic end-to-end: snapshot a model, restore into a twin.
+	cfg := models.Config{Arch: models.MobileNetV2, NumClasses: 5, WidthScale: 0.125, Seed: 4}
+	m := models.MustBuild(cfg, nil)
+	st := nn.StateDict(m)
+	wire, err := EncodeToBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFromBytes(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := models.MustBuild(cfg, nil)
+	if err := nn.LoadState(twin, back); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Randn(rng, 1, 1, 3, 32, 32)
+	ya := m.Forward(x, false)
+	yb := twin.Forward(x, false)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatal("restored model behaves differently")
+		}
+	}
+}
+
+func TestDecodeRejectsBadShapes(t *testing.T) {
+	// Hand-craft an envelope with a mismatched element count.
+	var buf bytes.Buffer
+	st := nn.State{"w": tensor.New(2, 2)}
+	if err := EncodeState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	good, err := DecodeFromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good["w"].Numel() != 4 {
+		t.Fatal("sanity check failed")
+	}
+}

@@ -1,0 +1,204 @@
+// Package rl implements AdaptiveFL's reinforcement-learning-based client
+// selection (paper §3.3): a curiosity table T_c counting how often each
+// client was touched per size level, a resource table T_r scoring each
+// (pool member, client) pair from dispatch/return history, the resource
+// and curiosity rewards, and the sampling distribution P(m, c).
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adaptivefl/internal/prune"
+)
+
+// Config tunes the selection strategy.
+type Config struct {
+	// SuccessCap is the upper success rate beyond which selection is
+	// driven purely by curiosity (paper: 0.5). Zero means 0.5.
+	SuccessCap float64
+	// LiteralL1Bonus applies Algorithm 1 line 18 exactly as printed
+	// (T_r[L_1] += p−1 after an unpruned return). The default false uses
+	// the symmetric reading T_r[m] += p−1, which preserves the capacity
+	// signal; see DESIGN.md §5.
+	LiteralL1Bonus bool
+}
+
+// Tables holds the two RL tables for a fixed pool and client population.
+type Tables struct {
+	cfg  Config
+	p    int
+	pool int // pool size (2p+1)
+	// Tc[level][client] — selection counts per size level (3 rows).
+	Tc [][]float64
+	// Tr[member][client] — training scores per pool member, rows in
+	// ascending pool order.
+	Tr [][]float64
+}
+
+// NewTables initialises both tables to 1, as Algorithm 1 lines 1-2 do.
+func NewTables(cfg Config, p, poolSize, numClients int) *Tables {
+	if cfg.SuccessCap == 0 {
+		cfg.SuccessCap = 0.5
+	}
+	t := &Tables{cfg: cfg, p: p, pool: poolSize}
+	t.Tc = make([][]float64, prune.NumLevels)
+	for i := range t.Tc {
+		t.Tc[i] = ones(numClients)
+	}
+	t.Tr = make([][]float64, poolSize)
+	for i := range t.Tr {
+		t.Tr[i] = ones(numClients)
+	}
+	return t
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// NumClients returns the client population size the tables cover.
+func (t *Tables) NumClients() int { return len(t.Tc[0]) }
+
+// RecordDispatch applies Algorithm 1 lines 12-26 after client c was sent
+// submodel sent and returned submodel got (got == sent when the device did
+// not prune locally).
+func (t *Tables) RecordDispatch(sent, got prune.Submodel, c int) {
+	if c < 0 || c >= t.NumClients() {
+		panic(fmt.Sprintf("rl: client %d out of range", c))
+	}
+	t.Tc[sent.Level][c]++
+	t.Tc[got.Level][c]++
+	last := t.pool - 1
+	if got.Index == sent.Index {
+		// No local pruning: the client's capacity is at least size(sent),
+		// so every member from sent upward gains a point...
+		for i := sent.Index; i <= last; i++ {
+			t.Tr[i][c]++
+		}
+		// ...and the trained member gets the p−1 bonus (or L_1, if the
+		// literal reading of line 18 is requested).
+		if t.cfg.LiteralL1Bonus {
+			t.Tr[last][c] += float64(t.p - 1)
+		} else {
+			t.Tr[sent.Index][c] += float64(t.p - 1)
+		}
+		return
+	}
+	// Local pruning happened: capacity sits between size(got) and the next
+	// larger member. Reward the returned member, progressively penalise
+	// everything above it (−0, −1, −2, …, floored at 0).
+	t.Tr[got.Index][c] += float64(t.p)
+	tau := 0.0
+	for i := got.Index; i <= last; i++ {
+		t.Tr[i][c] = math.Max(t.Tr[i][c]-tau, 0)
+		tau++
+	}
+}
+
+// ResourceReward computes R_s(m, c): the level-normalised share of the
+// client's training score mass at or above each member of m's level.
+func (t *Tables) ResourceReward(m prune.Submodel, pool *prune.Pool, c int) float64 {
+	total := 0.0
+	for i := 0; i < t.pool; i++ {
+		total += t.Tr[i][c]
+	}
+	if total <= 0 {
+		return 0
+	}
+	// Suffix sums: tail[i] = Σ_{t=i}^{L_1} T_r[t][c].
+	tail := 0.0
+	tails := make([]float64, t.pool)
+	for i := t.pool - 1; i >= 0; i-- {
+		tail += t.Tr[i][c]
+		tails[i] = tail
+	}
+	levelMembers := pool.ByLevel(m.Level)
+	num := 0.0
+	for _, lm := range levelMembers {
+		num += tails[lm.Index]
+	}
+	return num / (float64(len(levelMembers)) * total)
+}
+
+// CuriosityReward computes R_c(m, c) = 1/√T_c[level(m)][c] (MBIE-EB).
+func (t *Tables) CuriosityReward(m prune.Submodel, c int) float64 {
+	return 1 / math.Sqrt(t.Tc[m.Level][c])
+}
+
+// Reward combines the two: R = min(cap, R_s) · R_c (paper's 50% success
+// cap keeps well-resourced clients from monopolising selection).
+func (t *Tables) Reward(m prune.Submodel, pool *prune.Pool, c int) float64 {
+	rs := math.Min(t.cfg.SuccessCap, t.ResourceReward(m, pool, c))
+	return rs * t.CuriosityReward(m, c)
+}
+
+// Mode selects which reward signals drive SelectClient, supporting the
+// paper's ablation variants (Figure 5).
+type Mode int
+
+// Selection modes.
+const (
+	ModeCS     Mode = iota // resource × curiosity (AdaptiveFL default)
+	ModeC                  // curiosity only
+	ModeS                  // resource only
+	ModeRandom             // uniform random
+)
+
+// String names the mode as in the paper's ablation ("RL-CS" etc.).
+func (m Mode) String() string {
+	switch m {
+	case ModeCS:
+		return "RL-CS"
+	case ModeC:
+		return "RL-C"
+	case ModeS:
+		return "RL-S"
+	case ModeRandom:
+		return "Random"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// SelectClient samples a client for submodel m from the candidates
+// according to P(m, c) = R(m, c)/Σ_j R(m, j). Candidates must be non-empty;
+// if every reward is zero the choice is uniform.
+func (t *Tables) SelectClient(rng *rand.Rand, mode Mode, m prune.Submodel, pool *prune.Pool, candidates []int) int {
+	if len(candidates) == 0 {
+		panic("rl: SelectClient with no candidates")
+	}
+	if mode == ModeRandom {
+		return candidates[rng.Intn(len(candidates))]
+	}
+	weights := make([]float64, len(candidates))
+	sum := 0.0
+	for i, c := range candidates {
+		var w float64
+		switch mode {
+		case ModeCS:
+			w = t.Reward(m, pool, c)
+		case ModeC:
+			w = t.CuriosityReward(m, c)
+		case ModeS:
+			w = t.ResourceReward(m, pool, c)
+		}
+		weights[i] = w
+		sum += w
+	}
+	if sum <= 0 {
+		return candidates[rng.Intn(len(candidates))]
+	}
+	r := rng.Float64() * sum
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return candidates[i]
+		}
+	}
+	return candidates[len(candidates)-1]
+}

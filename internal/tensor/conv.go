@@ -1,0 +1,92 @@
+package tensor
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window: floor((in + 2*pad - kernel)/stride) + 1.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col unfolds a single image x of shape [C,H,W] into a matrix of shape
+// [C*kh*kw, oh*ow] so that convolution becomes GEMM. Out-of-bounds taps
+// (padding) contribute zeros. The result is written into cols, which must
+// have shape [C*kh*kw, oh*ow].
+func Im2Col(x *Tensor, kh, kw, stride, pad int, cols *Tensor) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic("tensor: Im2Col cols shape mismatch")
+	}
+	xd, cd := x.Data, cols.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				out := cd[row*oh*ow : (row+1)*oh*ow]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride - pad + ki
+					if ii < 0 || ii >= h {
+						for oj := 0; oj < ow; oj++ {
+							out[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := base + ii*w
+					jj := -pad + kj
+					for oj := 0; oj < ow; oj++ {
+						if jj >= 0 && jj < w {
+							out[idx] = xd[rowBase+jj]
+						} else {
+							out[idx] = 0
+						}
+						idx++
+						jj += stride
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im folds cols of shape [C*kh*kw, oh*ow] back into an image gradient
+// of shape [C,H,W], accumulating overlapping taps. dst is zeroed first.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int, dst *Tensor) {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if dst.Shape[0] != c || dst.Shape[1] != h || dst.Shape[2] != w {
+		panic("tensor: Col2Im dst shape mismatch")
+	}
+	dst.Zero()
+	cd, dd := cols.Data, dst.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				in := cd[row*oh*ow : (row+1)*oh*ow]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride - pad + ki
+					if ii < 0 || ii >= h {
+						idx += ow
+						continue
+					}
+					rowBase := base + ii*w
+					jj := -pad + kj
+					for oj := 0; oj < ow; oj++ {
+						if jj >= 0 && jj < w {
+							dd[rowBase+jj] += in[idx]
+						}
+						idx++
+						jj += stride
+					}
+				}
+				row++
+			}
+		}
+	}
+}

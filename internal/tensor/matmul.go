@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the number of goroutines GEMM may fan out to. FL rounds
+// train many clients concurrently, so the per-operation parallelism is a
+// process-wide knob rather than a per-call argument.
+var parallelism int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetParallelism caps the number of goroutines used by a single GEMM call.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(atomic.SwapInt64(&parallelism, int64(n)))
+}
+
+// Parallelism reports the current GEMM goroutine cap.
+func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
+
+// serialThreshold is the FLOP count below which GEMM stays single-threaded;
+// goroutine fan-out costs more than it saves on small matrices.
+const serialThreshold = 1 << 16
+
+// MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	Gemm(false, false, 1, a, b, 0, c)
+	_ = k
+	return c
+}
+
+// Gemm computes C = alpha*op(A)·op(B) + beta*C where op optionally
+// transposes its argument. A, B and C must be rank-2. Shapes after op must
+// satisfy op(A):[m,k], op(B):[k,n], C:[m,n].
+func Gemm(transA, transB bool, alpha float64, a, b *Tensor, beta float64, c *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(c.Shape) != 2 {
+		panic("tensor: Gemm requires rank-2 tensors")
+	}
+	am, ak := a.Shape[0], a.Shape[1]
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.Shape[0], b.Shape[1]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk || c.Shape[0] != am || c.Shape[1] != bn {
+		panic("tensor: Gemm shape mismatch")
+	}
+	m, k, n := am, ak, bn
+
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		c.Scale(beta)
+	}
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+
+	workers := Parallelism()
+	if 2*m*n*k < serialThreshold || workers <= 1 || m == 1 {
+		gemmRows(transA, transB, alpha, a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(transA, transB, alpha, a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows accumulates rows [lo,hi) of C. The inner loops are arranged so
+// that the innermost access pattern is contiguous whenever the operand
+// layout permits (i-k-j order for the non-transposed cases).
+func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n int) {
+	ad, bd, cd := a.Data, b.Data, c.Data
+	switch {
+	case !transA && !transB:
+		// C[i,j] += alpha * A[i,p] * B[p,j]
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : i*n+n]
+			ai := ad[i*k : i*k+k]
+			for p := 0; p < k; p++ {
+				av := alpha * ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// C[i,j] += alpha * A[i,p] * B[j,p]  (dot of two rows)
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : i*k+k]
+			ci := cd[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : j*k+k]
+				s := 0.0
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	case transA && !transB:
+		// C[i,j] += alpha * A[p,i] * B[p,j]
+		m := c.Shape[0]
+		for p := 0; p < k; p++ {
+			ap := ad[p*m : p*m+m]
+			bp := bd[p*n : p*n+n]
+			for i := lo; i < hi; i++ {
+				av := alpha * ap[i]
+				if av == 0 {
+					continue
+				}
+				ci := cd[i*n : i*n+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	default: // transA && transB
+		m := c.Shape[0]
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += ad[p*m+i] * bd[j*k+p]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	}
+}
+
+// MatVec returns y = A·x for A [m,n] and x of length n.
+func MatVec(a *Tensor, x []float64) []float64 {
+	m, n := a.Shape[0], a.Shape[1]
+	if len(x) != n {
+		panic("tensor: MatVec length mismatch")
+	}
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : i*n+n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

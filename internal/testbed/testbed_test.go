@@ -1,0 +1,122 @@
+package testbed
+
+import (
+	"testing"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/prune"
+)
+
+func TestTable5Platform(t *testing.T) {
+	specs := Table5Platform()
+	if len(specs) != 3 {
+		t.Fatalf("%d specs, want 3", len(specs))
+	}
+	total := 0
+	for _, sp := range specs {
+		total += sp.Count
+	}
+	if total != 17 {
+		t.Fatalf("platform has %d devices, want 17 (Table 5)", total)
+	}
+	// Ordering of capability must match the paper's hardware.
+	if !(specs[0].Throughput < specs[1].Throughput && specs[1].Throughput < specs[2].Throughput) {
+		t.Fatal("throughputs must increase weak < medium < strong")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(nil); err == nil {
+		t.Fatal("empty specs accepted")
+	}
+	bad := Table5Platform()
+	bad[0].Throughput = 0
+	if _, err := NewSim(bad); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+	if _, err := NewSim(Table5Platform()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainAndTransferTimes(t *testing.T) {
+	sim, err := NewSim(Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A weak device must be much slower than a strong one on equal work.
+	weak := sim.TrainTime(core.Weak, 1e6, 100, 5)
+	strong := sim.TrainTime(core.Strong, 1e6, 100, 5)
+	if weak <= strong*10 {
+		t.Fatalf("weak %v should be >>10x strong %v", weak, strong)
+	}
+	// Transfer scales with parameter counts.
+	t1 := sim.TransferTime(core.Medium, 1e6, 1e6)
+	t2 := sim.TransferTime(core.Medium, 2e6, 2e6)
+	if t2 <= t1 {
+		t.Fatal("transfer time must grow with model size")
+	}
+}
+
+func TestRoundTimeTakesSlowest(t *testing.T) {
+	sim, err := NewSim(Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := prune.Submodel{Size: 1e5, MACs: 1e6}
+	large := prune.Submodel{Size: 1e6, MACs: 1e7}
+	stats := core.RoundStats{Dispatches: []core.Dispatch{
+		{Client: 0, Sent: large, Got: small},
+		{Client: 1, Sent: large, Got: large},
+	}}
+	classOf := func(id int) core.DeviceClass {
+		if id == 0 {
+			return core.Weak
+		}
+		return core.Strong
+	}
+	samplesOf := func(int) int { return 50 }
+	got := sim.RoundTime(stats, classOf, samplesOf, 5)
+	weakTime := sim.TransferTime(core.Weak, large.Size, small.Size) + sim.TrainTime(core.Weak, small.MACs, 50, 5)
+	strongTime := sim.TransferTime(core.Strong, large.Size, large.Size) + sim.TrainTime(core.Strong, large.MACs, 50, 5)
+	want := weakTime
+	if strongTime > want {
+		want = strongTime
+	}
+	if got != want {
+		t.Fatalf("RoundTime = %v, want max(%v, %v)", got, weakTime, strongTime)
+	}
+}
+
+func TestFailedDispatchStillCostsTransfer(t *testing.T) {
+	sim, err := NewSim(Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large := prune.Submodel{Size: 1e6, MACs: 1e7}
+	stats := core.RoundStats{Dispatches: []core.Dispatch{
+		{Client: 0, Sent: large, Got: large, Failed: true},
+	}}
+	got := sim.RoundTime(stats, func(int) core.DeviceClass { return core.Weak }, func(int) int { return 10 }, 5)
+	if got <= 0 {
+		t.Fatal("failed dispatch should still consume transfer time")
+	}
+	want := sim.TransferTime(core.Weak, large.Size, large.Size)
+	if got != want {
+		t.Fatalf("failed dispatch time = %v, want transfer-only %v", got, want)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	sim, err := NewSim(Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Clock() != 0 {
+		t.Fatal("clock should start at 0")
+	}
+	sim.Advance(5)
+	if got := sim.Advance(2.5); got != 7.5 {
+		t.Fatalf("clock = %v, want 7.5", got)
+	}
+}
