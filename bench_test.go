@@ -7,6 +7,7 @@
 package adaptivefl
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -263,6 +264,98 @@ func BenchmarkConvForward_VGGBlock(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Forward(x, true)
+	}
+}
+
+// seedConvForward reproduces the seed's per-sample conv forward — one
+// im2col and one scalar i-k-j GEMM per sample, with the branchy av==0
+// inner loop — so the batched-path speedup can be measured against it in
+// the same process regardless of machine load.
+func seedConvForward(w, x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
+	n, ci, h, ww := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outC := w.Shape[0]
+	oh := tensor.ConvOutSize(h, k, stride, pad)
+	ow := tensor.ConvOutSize(ww, k, stride, pad)
+	spatial := oh * ow
+	wm := w.Reshape(outC, ci*k*k)
+	cols := tensor.New(ci*k*k, spatial)
+	out := tensor.New(n, outC, oh, ow)
+	for s := 0; s < n; s++ {
+		xs := tensor.FromSlice(x.Data[s*ci*h*ww:(s+1)*ci*h*ww], ci, h, ww)
+		tensor.Im2Col(xs, k, k, stride, pad, cols)
+		ys := out.Data[s*outC*spatial : (s+1)*outC*spatial]
+		for i := 0; i < outC; i++ {
+			yi := ys[i*spatial : (i+1)*spatial]
+			ai := wm.Data[i*ci*k*k : (i+1)*ci*k*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := cols.Data[p*spatial : (p+1)*spatial]
+				for j, bv := range bp {
+					yi[j] += av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkConvForward_SeedPerSample is the pre-batching baseline for
+// BenchmarkConvForward_VGGBlock: same shapes, per-sample seed path.
+func BenchmarkConvForward_SeedPerSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	w := tensor.Randn(rng, 1, 16, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedConvForward(w, x, 3, 1, 1)
+	}
+}
+
+// BenchmarkConv2DBatched measures one train-mode forward+backward of the
+// batched im2col+GEMM convolution on the same shapes as
+// BenchmarkConvForward_VGGBlock, covering all three batched GEMMs
+// (forward, dW, dX).
+func BenchmarkConv2DBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	conv := nn.NewConv2D(rng, "c", 16, 16, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	grad := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+		conv.Backward(grad)
+	}
+}
+
+// BenchmarkDepthwiseForward measures the tap-vectorized depthwise kernel
+// on a MobileNetV2-like block.
+func BenchmarkDepthwiseForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	conv := nn.NewDepthwiseConv2D(rng, "d", 32, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 8, 32, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+	}
+}
+
+// BenchmarkGemmTiled measures the blocked GEMM kernel at sizes that span
+// one and several cache panels.
+func BenchmarkGemmTiled(b *testing.B) {
+	for _, size := range []int{128, 256} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := tensor.Randn(rng, 1, size, size)
+			y := tensor.Randn(rng, 1, size, size)
+			c := tensor.New(size, size)
+			b.SetBytes(int64(8 * size * size * 3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(false, false, 1, x, y, 0, c)
+			}
+		})
 	}
 }
 

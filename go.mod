@@ -1,0 +1,3 @@
+module adaptivefl
+
+go 1.21

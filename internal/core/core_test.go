@@ -309,6 +309,10 @@ func TestCommWasteRate(t *testing.T) {
 func TestRLSelectionReducesWasteVsRandom(t *testing.T) {
 	// After a burn-in, RL-CS should dispatch large models to weak devices
 	// less often than Random does, lowering the waste rate.
+	rounds, burnIn := 12, 4
+	if testing.Short() {
+		rounds, burnIn = 5, 2
+	}
 	run := func(mode rl.Mode, seed int64) float64 {
 		pool := testPool(t)
 		clients, _ := testClients(t, 10, pool)
@@ -319,11 +323,22 @@ func TestRLSelectionReducesWasteVsRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := srv.Run(12, nil); err != nil {
+		if err := srv.Run(rounds, nil); err != nil {
 			t.Fatal(err)
 		}
 		// Ignore the first rounds (exploration).
-		return CommWasteRate(srv.Stats()[4:])
+		return CommWasteRate(srv.Stats()[burnIn:])
+	}
+	if testing.Short() {
+		// Reduced scale: too few rounds for the statistical comparison to
+		// be reliable, so just exercise both selection paths end to end
+		// and sanity-check the waste ledger.
+		for _, mode := range []rl.Mode{rl.ModeCS, rl.ModeRandom} {
+			if w := run(mode, 21); w < 0 || w > 1 {
+				t.Fatalf("mode %v waste rate %v outside [0,1]", mode, w)
+			}
+		}
+		return
 	}
 	wasteRL := (run(rl.ModeCS, 21) + run(rl.ModeCS, 22) + run(rl.ModeCS, 23)) / 3
 	wasteRnd := (run(rl.ModeRandom, 21) + run(rl.ModeRandom, 22) + run(rl.ModeRandom, 23)) / 3
@@ -349,8 +364,15 @@ func TestFederatedTrainingImproves(t *testing.T) {
 	accBefore := eval.Accuracy(m0, test, 40)
 	// Heterogeneous FL has a warm-up phase: the full model's deep channels
 	// stay at their random initialisation until enough L-level dispatches
-	// have trained them, so give the run enough rounds to take off.
-	if err := srv.Run(14, nil); err != nil {
+	// have trained them, so give the run enough rounds to take off. In
+	// -short mode the run is cut to the warm-up itself: the improvement
+	// bound cannot be asserted yet, so only require that training does not
+	// diverge.
+	rounds := 14
+	if testing.Short() {
+		rounds = 3
+	}
+	if err := srv.Run(rounds, nil); err != nil {
 		t.Fatal(err)
 	}
 	m1, err := srv.GlobalModel()
@@ -358,6 +380,12 @@ func TestFederatedTrainingImproves(t *testing.T) {
 		t.Fatal(err)
 	}
 	accAfter := eval.Accuracy(m1, test, 40)
+	if testing.Short() {
+		if accAfter < accBefore-0.1 {
+			t.Fatalf("accuracy %.3f -> %.3f: training diverged", accBefore, accAfter)
+		}
+		return
+	}
 	if accAfter <= accBefore+0.15 {
 		t.Fatalf("accuracy %.3f -> %.3f: federated training did not improve", accBefore, accAfter)
 	}

@@ -59,7 +59,9 @@ func TestFailedDispatchAccounting(t *testing.T) {
 }
 
 // TestRoundWithAllLevelsAggregates drives a mixed population long enough
-// that every pool level is dispatched and returned at least once.
+// that every pool level is dispatched and returned at least once. In
+// -short mode a reduced round budget is used; the run is deterministic
+// (fixed seed), so the smaller budget is known to still cover all levels.
 func TestRoundWithAllLevelsAggregates(t *testing.T) {
 	pool := testPool(t)
 	clients, _ := testClients(t, 9, pool)
@@ -70,8 +72,12 @@ func TestRoundWithAllLevelsAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rounds := 15
+	if testing.Short() {
+		rounds = 10
+	}
 	seen := map[prune.Level]bool{}
-	for r := 0; r < 15; r++ {
+	for r := 0; r < rounds; r++ {
 		if err := srv.Round(); err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +91,7 @@ func TestRoundWithAllLevelsAggregates(t *testing.T) {
 	}
 	for _, lvl := range []prune.Level{prune.LevelS, prune.LevelM, prune.LevelL} {
 		if !seen[lvl] {
-			t.Errorf("level %v never trained in 15 rounds", lvl)
+			t.Errorf("level %v never trained in %d rounds", lvl, rounds)
 		}
 	}
 }

@@ -9,19 +9,21 @@ import (
 )
 
 // Conv2D is a 2-D convolution with square kernels, implemented as
-// im2col + GEMM. Weight layout is [OutC, InC, K, K]; input batches are
-// [N, InC, H, W].
+// batched im2col + GEMM: the whole batch is unfolded into one
+// [InC*K*K, N*OH*OW] column matrix so forward is a single GEMM per layer
+// call (not one per sample), and backward is two batched GEMMs (dW, dX).
+// Weight layout is [OutC, InC, K, K]; input batches are [N, InC, H, W].
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	UseBias                   bool
 
 	weight, bias *Param
 
-	// forward cache
-	in   *tensor.Tensor
-	cols []*tensor.Tensor // per-sample im2col matrices
-	oh   int
-	ow   int
+	// forward cache, retained only for train-mode forwards; eval-mode
+	// forwards release it so inference does not pin the column buffer.
+	in     *tensor.Tensor
+	cols   *tensor.Tensor // batched im2col matrix [InC*K*K, N*OH*OW]
+	oh, ow int
 }
 
 // NewConv2D builds a convolution layer with He-initialised weights. The
@@ -45,30 +47,45 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	c.oh = tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
 	c.ow = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
-	c.in = x
-	if cap(c.cols) < n {
-		c.cols = make([]*tensor.Tensor, n)
-	}
-	c.cols = c.cols[:n]
-
-	out := tensor.New(n, c.OutC, c.oh, c.ow)
-	wm := c.weight.Val.Reshape(c.OutC, c.InC*c.K*c.K)
 	spatial := c.oh * c.ow
-	for s := 0; s < n; s++ {
-		if c.cols[s] == nil || c.cols[s].Shape[0] != c.InC*c.K*c.K || c.cols[s].Shape[1] != spatial {
-			c.cols[s] = tensor.New(c.InC*c.K*c.K, spatial)
+	rows := c.InC * c.K * c.K
+	total := n * spatial
+
+	var cols *tensor.Tensor
+	if train {
+		if c.cols == nil || c.cols.Shape[0] != rows || c.cols.Shape[1] != total {
+			c.cols = tensor.New(rows, total)
 		}
-		xs := tensor.FromSlice(x.Data[s*ci*h*w:(s+1)*ci*h*w], ci, h, w)
-		tensor.Im2Col(xs, c.K, c.K, c.Stride, c.Pad, c.cols[s])
-		ys := tensor.FromSlice(out.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
-		tensor.Gemm(false, false, 1, wm, c.cols[s], 0, ys)
+		cols = c.cols
+		c.in = x
+	} else {
+		cols = tensor.New(rows, total)
+		c.in, c.cols = nil, nil
+	}
+	tensor.Im2ColBatch(x, c.K, c.K, c.Stride, c.Pad, cols)
+
+	// One GEMM for the whole batch: [OutC, rows] x [rows, N*spatial].
+	wm := c.weight.Val.Reshape(c.OutC, rows)
+	ybuf := tensor.New(c.OutC, total)
+	tensor.Gemm(false, false, 1, wm, cols, 0, ybuf)
+
+	// Scatter [OutC, N*spatial] back to [N, OutC, OH, OW], adding bias.
+	out := tensor.New(n, c.OutC, c.oh, c.ow)
+	for o := 0; o < c.OutC; o++ {
+		src := ybuf.Data[o*total : (o+1)*total]
+		b := 0.0
 		if c.UseBias {
-			for o := 0; o < c.OutC; o++ {
-				b := c.bias.Val.Data[o]
-				row := ys.Data[o*spatial : (o+1)*spatial]
-				for i := range row {
-					row[i] += b
+			b = c.bias.Val.Data[o]
+		}
+		for s := 0; s < n; s++ {
+			dst := out.Data[(s*c.OutC+o)*spatial : (s*c.OutC+o+1)*spatial]
+			seg := src[s*spatial : (s+1)*spatial]
+			if c.UseBias {
+				for i, v := range seg {
+					dst[i] = v + b
 				}
+			} else {
+				copy(dst, seg)
 			}
 		}
 	}
@@ -77,30 +94,43 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates dW (and db) and returns dX.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.in == nil || c.cols == nil {
+		panic(fmt.Sprintf("nn: conv %s Backward without a train-mode Forward", c.weight.Name))
+	}
 	n := grad.Shape[0]
 	spatial := c.oh * c.ow
+	total := n * spatial
+	rows := c.InC * c.K * c.K
 	h, w := c.in.Shape[2], c.in.Shape[3]
-	dx := tensor.New(n, c.InC, h, w)
-	dwm := c.weight.Grad.Reshape(c.OutC, c.InC*c.K*c.K)
-	wm := c.weight.Val.Reshape(c.OutC, c.InC*c.K*c.K)
-	dcols := tensor.New(c.InC*c.K*c.K, spatial)
+
+	// Gather grad [N, OutC, spatial] into [OutC, N*spatial] so both
+	// backward products are single batched GEMMs.
+	gbuf := tensor.New(c.OutC, total)
 	for s := 0; s < n; s++ {
-		gs := tensor.FromSlice(grad.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
-		// dW += gs · colsᵀ
-		tensor.Gemm(false, true, 1, gs, c.cols[s], 1, dwm)
-		// dcols = Wᵀ · gs
-		tensor.Gemm(true, false, 1, wm, gs, 0, dcols)
-		dxs := tensor.FromSlice(dx.Data[s*c.InC*h*w:(s+1)*c.InC*h*w], c.InC, h, w)
-		tensor.Col2Im(dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, dxs)
-		if c.UseBias {
-			for o := 0; o < c.OutC; o++ {
-				row := gs.Data[o*spatial : (o+1)*spatial]
-				s := 0.0
-				for _, v := range row {
-					s += v
-				}
-				c.bias.Grad.Data[o] += s
+		for o := 0; o < c.OutC; o++ {
+			copy(gbuf.Data[o*total+s*spatial:o*total+(s+1)*spatial],
+				grad.Data[(s*c.OutC+o)*spatial:(s*c.OutC+o+1)*spatial])
+		}
+	}
+
+	dwm := c.weight.Grad.Reshape(c.OutC, rows)
+	wm := c.weight.Val.Reshape(c.OutC, rows)
+	// dW += g · colsᵀ
+	tensor.Gemm(false, true, 1, gbuf, c.cols, 1, dwm)
+	// dcols = Wᵀ · g
+	dcols := tensor.New(rows, total)
+	tensor.Gemm(true, false, 1, wm, gbuf, 0, dcols)
+	dx := tensor.New(n, c.InC, h, w)
+	tensor.Col2ImBatch(dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, dx)
+
+	if c.UseBias {
+		for o := 0; o < c.OutC; o++ {
+			row := gbuf.Data[o*total : (o+1)*total]
+			s := 0.0
+			for _, v := range row {
+				s += v
 			}
+			c.bias.Grad.Data[o] += s
 		}
 	}
 	return dx
@@ -116,6 +146,10 @@ func (c *Conv2D) Params() []*Param {
 
 // DepthwiseConv2D applies one K×K filter per channel (groups == channels),
 // the building block of MobileNetV2. Weight layout is [C, 1, K, K].
+// Each (sample, channel) plane is convolved tap-by-tap over row-contiguous
+// slices: the kernel taps form the outer loops and the inner loop runs
+// along output rows with the bounds hoisted, instead of a 6-deep scalar
+// loop with per-element padding branches.
 type DepthwiseConv2D struct {
 	C, K, Stride, Pad int
 	UseBias           bool
@@ -136,43 +170,73 @@ func NewDepthwiseConv2D(rng *rand.Rand, name string, c, k, stride, pad int, bias
 	return d
 }
 
+// tapRange returns the output index range [lo,hi) along one axis for which
+// the input index oi*stride - pad + k stays inside [0, in).
+func tapRange(k, stride, pad, in, out int) (lo, hi int) {
+	lo = 0
+	if pad > k {
+		lo = (pad - k + stride - 1) / stride
+	}
+	hi = out
+	if m := (in - 1 + pad - k) / stride; m+1 < hi {
+		hi = m + 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // Forward computes the per-channel convolution.
 func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != d.C {
 		panic(fmt.Sprintf("nn: depthwise %s expects %d channels, got %d", d.weight.Name, d.C, c))
 	}
-	d.in = x
+	if train {
+		d.in = x
+	} else {
+		d.in = nil
+	}
 	d.oh = tensor.ConvOutSize(h, d.K, d.Stride, d.Pad)
 	d.ow = tensor.ConvOutSize(w, d.K, d.Stride, d.Pad)
 	out := tensor.New(n, c, d.oh, d.ow)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
-			xIn := x.Data[(s*c+ch)*h*w:]
-			ker := d.weight.Val.Data[ch*d.K*d.K:]
-			yOut := out.Data[(s*c+ch)*d.oh*d.ow:]
-			b := 0.0
+			xIn := x.Data[(s*c+ch)*h*w : (s*c+ch+1)*h*w]
+			ker := d.weight.Val.Data[ch*d.K*d.K : (ch+1)*d.K*d.K]
+			yOut := out.Data[(s*c+ch)*d.oh*d.ow : (s*c+ch+1)*d.oh*d.ow]
 			if d.UseBias {
-				b = d.bias.Val.Data[ch]
+				b := d.bias.Val.Data[ch]
+				for i := range yOut {
+					yOut[i] = b
+				}
 			}
-			idx := 0
-			for oi := 0; oi < d.oh; oi++ {
-				for oj := 0; oj < d.ow; oj++ {
-					acc := b
-					for ki := 0; ki < d.K; ki++ {
+			for ki := 0; ki < d.K; ki++ {
+				oiLo, oiHi := tapRange(ki, d.Stride, d.Pad, h, d.oh)
+				for kj := 0; kj < d.K; kj++ {
+					kv := ker[ki*d.K+kj]
+					ojLo, ojHi := tapRange(kj, d.Stride, d.Pad, w, d.ow)
+					if ojHi <= ojLo {
+						continue
+					}
+					for oi := oiLo; oi < oiHi; oi++ {
 						ii := oi*d.Stride - d.Pad + ki
-						if ii < 0 || ii >= h {
+						yRow := yOut[oi*d.ow : (oi+1)*d.ow]
+						if d.Stride == 1 {
+							xSeg := xIn[ii*w+ojLo+kj-d.Pad : ii*w+ojHi+kj-d.Pad]
+							ySeg := yRow[ojLo:ojHi]
+							for j, v := range xSeg {
+								ySeg[j] += kv * v
+							}
 							continue
 						}
-						for kj := 0; kj < d.K; kj++ {
-							jj := oj*d.Stride - d.Pad + kj
-							if jj >= 0 && jj < w {
-								acc += xIn[ii*w+jj] * ker[ki*d.K+kj]
-							}
+						jj := ojLo*d.Stride - d.Pad + kj
+						for oj := ojLo; oj < ojHi; oj++ {
+							yRow[oj] += kv * xIn[ii*w+jj]
+							jj += d.Stride
 						}
 					}
-					yOut[idx] = acc
-					idx++
 				}
 			}
 		}
@@ -182,43 +246,59 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates per-channel filter gradients and returns dX.
 func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.in == nil {
+		panic(fmt.Sprintf("nn: depthwise %s Backward without a train-mode Forward", d.weight.Name))
+	}
 	n, c := grad.Shape[0], grad.Shape[1]
 	h, w := d.in.Shape[2], d.in.Shape[3]
 	dx := tensor.New(n, c, h, w)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
-			xIn := d.in.Data[(s*c+ch)*h*w:]
-			g := grad.Data[(s*c+ch)*d.oh*d.ow:]
-			ker := d.weight.Val.Data[ch*d.K*d.K:]
-			dker := d.weight.Grad.Data[ch*d.K*d.K:]
-			dxs := dx.Data[(s*c+ch)*h*w:]
-			idx := 0
-			gsum := 0.0
-			for oi := 0; oi < d.oh; oi++ {
-				for oj := 0; oj < d.ow; oj++ {
-					gv := g[idx]
-					idx++
-					if gv == 0 {
+			xIn := d.in.Data[(s*c+ch)*h*w : (s*c+ch+1)*h*w]
+			g := grad.Data[(s*c+ch)*d.oh*d.ow : (s*c+ch+1)*d.oh*d.ow]
+			ker := d.weight.Val.Data[ch*d.K*d.K : (ch+1)*d.K*d.K]
+			dker := d.weight.Grad.Data[ch*d.K*d.K : (ch+1)*d.K*d.K]
+			dxs := dx.Data[(s*c+ch)*h*w : (s*c+ch+1)*h*w]
+			for ki := 0; ki < d.K; ki++ {
+				oiLo, oiHi := tapRange(ki, d.Stride, d.Pad, h, d.oh)
+				for kj := 0; kj < d.K; kj++ {
+					kv := ker[ki*d.K+kj]
+					ojLo, ojHi := tapRange(kj, d.Stride, d.Pad, w, d.ow)
+					if ojHi <= ojLo {
 						continue
 					}
-					gsum += gv
-					for ki := 0; ki < d.K; ki++ {
+					acc := 0.0
+					for oi := oiLo; oi < oiHi; oi++ {
 						ii := oi*d.Stride - d.Pad + ki
-						if ii < 0 || ii >= h {
+						gRow := g[oi*d.ow : (oi+1)*d.ow]
+						if d.Stride == 1 {
+							off := ii*w + kj - d.Pad
+							xSeg := xIn[off+ojLo : off+ojHi]
+							dxSeg := dxs[off+ojLo : off+ojHi]
+							gSeg := gRow[ojLo:ojHi]
+							for j, gv := range gSeg {
+								acc += gv * xSeg[j]
+								dxSeg[j] += gv * kv
+							}
 							continue
 						}
-						for kj := 0; kj < d.K; kj++ {
-							jj := oj*d.Stride - d.Pad + kj
-							if jj >= 0 && jj < w {
-								dker[ki*d.K+kj] += gv * xIn[ii*w+jj]
-								dxs[ii*w+jj] += gv * ker[ki*d.K+kj]
-							}
+						jj := ojLo*d.Stride - d.Pad + kj
+						for oj := ojLo; oj < ojHi; oj++ {
+							gv := gRow[oj]
+							acc += gv * xIn[ii*w+jj]
+							dxs[ii*w+jj] += gv * kv
+							jj += d.Stride
 						}
 					}
+					dker[ki*d.K+kj] += acc
 				}
 			}
 			if d.UseBias {
-				d.bias.Grad.Data[ch] += gsum
+				s := 0.0
+				for _, v := range g {
+					s += v
+				}
+				d.bias.Grad.Data[ch] += s
 			}
 		}
 	}

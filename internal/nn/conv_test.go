@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/tensor"
+)
+
+// naiveConv2D is the direct 7-loop reference convolution the batched
+// im2col+GEMM path is checked against.
+func naiveConv2D(x, weight *tensor.Tensor, bias []float64, stride, pad int) *tensor.Tensor {
+	n, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outC, k := weight.Shape[0], weight.Shape[2]
+	oh := tensor.ConvOutSize(h, k, stride, pad)
+	ow := tensor.ConvOutSize(w, k, stride, pad)
+	out := tensor.New(n, outC, oh, ow)
+	for s := 0; s < n; s++ {
+		for o := 0; o < outC; o++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					acc := 0.0
+					if bias != nil {
+						acc = bias[o]
+					}
+					for ci := 0; ci < inC; ci++ {
+						for ki := 0; ki < k; ki++ {
+							ii := oi*stride - pad + ki
+							if ii < 0 || ii >= h {
+								continue
+							}
+							for kj := 0; kj < k; kj++ {
+								jj := oj*stride - pad + kj
+								if jj < 0 || jj >= w {
+									continue
+								}
+								acc += x.At(s, ci, ii, jj) * weight.At(o, ci, ki, kj)
+							}
+						}
+					}
+					out.Set(acc, s, o, oi, oj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// naiveDepthwise is the per-channel direct reference for DepthwiseConv2D.
+func naiveDepthwise(x, weight *tensor.Tensor, bias []float64, stride, pad int) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	k := weight.Shape[2]
+	oh := tensor.ConvOutSize(h, k, stride, pad)
+	ow := tensor.ConvOutSize(w, k, stride, pad)
+	out := tensor.New(n, c, oh, ow)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					acc := 0.0
+					if bias != nil {
+						acc = bias[ch]
+					}
+					for ki := 0; ki < k; ki++ {
+						ii := oi*stride - pad + ki
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < k; kj++ {
+							jj := oj*stride - pad + kj
+							if jj < 0 || jj >= w {
+								continue
+							}
+							acc += x.At(s, ch, ii, jj) * weight.At(ch, 0, ki, kj)
+						}
+					}
+					out.Set(acc, s, ch, oi, oj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConv2DBatchedMatchesNaive checks the batched im2col+GEMM forward
+// against the direct convolution to 1e-9, in both train and eval mode.
+func TestConv2DBatchedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, cfg := range []struct {
+		name              string
+		n, inC, outC, k   int
+		stride, pad, h, w int
+		bias              bool
+	}{
+		{"3x3-pad1-bias", 5, 3, 8, 3, 1, 1, 9, 9, true},
+		{"3x3-stride2", 4, 2, 5, 3, 2, 1, 8, 10, false},
+		{"1x1", 3, 4, 6, 1, 1, 0, 7, 5, true},
+		{"5x5-pad2", 2, 2, 3, 5, 1, 2, 6, 6, false},
+		{"batch1", 1, 3, 4, 3, 1, 1, 8, 8, true},
+	} {
+		conv := NewConv2D(rng, "c", cfg.inC, cfg.outC, cfg.k, cfg.stride, cfg.pad, cfg.bias)
+		x := tensor.Randn(rng, 1, cfg.n, cfg.inC, cfg.h, cfg.w)
+		var bias []float64
+		if cfg.bias {
+			bias = conv.bias.Val.Data
+		}
+		want := naiveConv2D(x, conv.weight.Val, bias, cfg.stride, cfg.pad)
+		for _, train := range []bool{true, false} {
+			got := conv.Forward(x, train)
+			if !tensor.SameShape(got, want) {
+				t.Fatalf("%s train=%v: shape %v, want %v", cfg.name, train, got.Shape, want.Shape)
+			}
+			for i := range got.Data {
+				if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+					t.Fatalf("%s train=%v: mismatch at %d: %v vs %v",
+						cfg.name, train, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDepthwiseMatchesNaive checks the tap-vectorized depthwise kernel
+// against the direct reference to 1e-9.
+func TestDepthwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range []struct {
+		name              string
+		n, c, k           int
+		stride, pad, h, w int
+		bias              bool
+	}{
+		{"3x3-pad1", 4, 3, 3, 1, 1, 7, 9, true},
+		{"3x3-stride2", 3, 4, 3, 2, 1, 8, 8, false},
+		{"5x5-pad2", 2, 2, 5, 1, 2, 6, 6, true},
+	} {
+		d := NewDepthwiseConv2D(rng, "d", cfg.c, cfg.k, cfg.stride, cfg.pad, cfg.bias)
+		x := tensor.Randn(rng, 1, cfg.n, cfg.c, cfg.h, cfg.w)
+		var bias []float64
+		if cfg.bias {
+			bias = d.bias.Val.Data
+		}
+		want := naiveDepthwise(x, d.weight.Val, bias, cfg.stride, cfg.pad)
+		got := d.Forward(x, true)
+		if !tensor.SameShape(got, want) {
+			t.Fatalf("%s: shape %v, want %v", cfg.name, got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("%s: mismatch at %d: %v vs %v", cfg.name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvEvalReleasesCache pins the memory contract: an eval-mode forward
+// must not retain the input or the im2col buffer, and a train-mode forward
+// must (Backward needs them).
+func TestConvEvalReleasesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	conv := NewConv2D(rng, "c", 2, 3, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 2, 2, 6, 6)
+
+	conv.Forward(x, true)
+	if conv.in == nil || conv.cols == nil {
+		t.Fatal("train forward must retain the backward cache")
+	}
+	conv.Forward(x, false)
+	if conv.in != nil || conv.cols != nil {
+		t.Fatal("eval forward must release the backward cache")
+	}
+
+	dw := NewDepthwiseConv2D(rng, "d", 2, 3, 1, 1, false)
+	dw.Forward(x, true)
+	if dw.in == nil {
+		t.Fatal("train forward must retain the depthwise cache")
+	}
+	dw.Forward(x, false)
+	if dw.in != nil {
+		t.Fatal("eval forward must release the depthwise cache")
+	}
+}
+
+// TestConvBackwardAfterEvalPanics documents that Backward requires a
+// train-mode Forward.
+func TestConvBackwardAfterEvalPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	conv := NewConv2D(rng, "c", 1, 2, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 1, 1, 5, 5)
+	y := conv.Forward(x, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after eval forward must panic")
+		}
+	}()
+	conv.Backward(y)
+}
+
+// TestConv2DBatchMatchesPerSample checks that one batched forward equals
+// running the samples through one at a time — the batching must be purely
+// an execution-layout change.
+func TestConv2DBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	conv := NewConv2D(rng, "c", 3, 4, 3, 1, 1, true)
+	const n = 6
+	x := tensor.Randn(rng, 1, n, 3, 8, 8)
+	batched := conv.Forward(x, true)
+	per := len(batched.Data) / n
+	single := len(x.Data) / n
+	for s := 0; s < n; s++ {
+		xs := tensor.FromSlice(x.Data[s*single:(s+1)*single], 1, 3, 8, 8)
+		ys := conv.Forward(xs, false)
+		for i := range ys.Data {
+			if math.Abs(ys.Data[i]-batched.Data[s*per+i]) > 1e-9 {
+				t.Fatalf("sample %d diverges from batched forward at %d", s, i)
+			}
+		}
+	}
+}

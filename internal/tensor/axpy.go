@@ -1,0 +1,69 @@
+package tensor
+
+// Vector micro-kernels behind the blocked GEMM. Each has an accelerated
+// amd64/AVX implementation (axpy_amd64.s) and a portable Go tail; the two
+// are written to produce bitwise-identical results: the AVX code uses
+// separate VMULPD/VADDPD (no FMA contraction) in exactly the association
+// the Go code uses, so enabling the fast path never changes a result —
+// only how fast it is produced.
+
+// axpy2x2 computes c0[j] += u0*b0[j] + u1*b1[j] and
+// c1[j] += v0*b0[j] + v1*b1[j] over the common length.
+func axpy2x2(u0, u1, v0, v1 float64, b0, b1, c0, c1 []float64) {
+	j := axpy2x2Accel(u0, u1, v0, v1, b0, b1, c0, c1)
+	b0, b1, c0, c1 = b0[j:], b1[j:], c0[j:], c1[j:]
+	for j := range c0 {
+		bv0, bv1 := b0[j], b1[j]
+		c0[j] += u0*bv0 + u1*bv1
+		c1[j] += v0*bv0 + v1*bv1
+	}
+}
+
+// axpy2x1 computes c0[j] += u0*b0[j] + u1*b1[j].
+func axpy2x1(u0, u1 float64, b0, b1, c0 []float64) {
+	j := axpy2x1Accel(u0, u1, b0, b1, c0)
+	b0, b1, c0 = b0[j:], b1[j:], c0[j:]
+	for j := range c0 {
+		c0[j] += u0*b0[j] + u1*b1[j]
+	}
+}
+
+// dotLanes is the reduction contract shared by the scalar and AVX dot
+// kernels: 16 partial sums striped by index mod 16, pre-combined lanewise
+// into t[l] = (s[l] + s[l+4]) + (s[l+8] + s[l+12]).
+type dotLanes [4]float64
+
+// dot computes the inner product of a and b with a fixed reduction tree:
+// 16 striped partials, folded to 4 lanes, then ((t0+t1)+(t2+t3)), with a
+// sequential tail for the remainder. The tree is a function of len(a)
+// alone, so serial, pooled, and AVX execution all agree bitwise.
+func dot(a, b []float64) float64 {
+	n16 := len(a) &^ 15
+	var t dotLanes
+	if n16 > 0 {
+		t = dotLanesAccel(a[:n16], b[:n16])
+	}
+	s := (t[0] + t[1]) + (t[2] + t[3])
+	for p := n16; p < len(a); p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}
+
+// dotLanesGeneric is the portable 16-stripe kernel; n must be a positive
+// multiple of 16.
+func dotLanesGeneric(a, b []float64) dotLanes {
+	var s [16]float64
+	for p := 0; p+16 <= len(a); p += 16 {
+		aa := a[p : p+16]
+		bb := b[p : p+16]
+		for l := 0; l < 16; l++ {
+			s[l] += aa[l] * bb[l]
+		}
+	}
+	var t dotLanes
+	for l := 0; l < 4; l++ {
+		t[l] = (s[l] + s[l+4]) + (s[l+8] + s[l+12])
+	}
+	return t
+}

@@ -1,0 +1,63 @@
+//go:build amd64
+
+package tensor
+
+// useAVX reports whether the OS and CPU support 256-bit AVX float math.
+// The kernels below use only AVX1 instructions (VMULPD/VADDPD/VBROADCASTSD)
+// so plain AVX support is sufficient.
+var useAVX = detectAVX()
+
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	// XGETBV(0) bits 1|2: XMM and YMM state enabled by the OS.
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6
+}
+
+// Implemented in axpy_amd64.s.
+func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func axpy2x2AVX(u0, u1, v0, v1 float64, b0, b1, c0, c1 *float64, n int)
+func axpy2x1AVX(u0, u1 float64, b0, b1, c0 *float64, n int)
+func dotLanesAVX(a, b *float64, n int) (s0, s1, s2, s3 float64)
+
+// axpy2x2Accel runs the AVX kernel over the largest multiple-of-4 prefix
+// and returns how many elements it handled.
+func axpy2x2Accel(u0, u1, v0, v1 float64, b0, b1, c0, c1 []float64) int {
+	n4 := len(c0) &^ 3
+	if !useAVX || n4 == 0 {
+		return 0
+	}
+	axpy2x2AVX(u0, u1, v0, v1, &b0[0], &b1[0], &c0[0], &c1[0], n4)
+	return n4
+}
+
+// axpy2x1Accel runs the AVX kernel over the largest multiple-of-4 prefix
+// and returns how many elements it handled.
+func axpy2x1Accel(u0, u1 float64, b0, b1, c0 []float64) int {
+	n4 := len(c0) &^ 3
+	if !useAVX || n4 == 0 {
+		return 0
+	}
+	axpy2x1AVX(u0, u1, &b0[0], &b1[0], &c0[0], n4)
+	return n4
+}
+
+// dotLanesAccel computes the striped partial sums over a multiple-of-16
+// length using AVX when available.
+func dotLanesAccel(a, b []float64) dotLanes {
+	if !useAVX {
+		return dotLanesGeneric(a, b)
+	}
+	s0, s1, s2, s3 := dotLanesAVX(&a[0], &b[0], len(a))
+	return dotLanes{s0, s1, s2, s3}
+}

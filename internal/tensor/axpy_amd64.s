@@ -1,0 +1,149 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy2x2AVX(u0, u1, v0, v1 float64, b0, b1, c0, c1 *float64, n int)
+//
+// c0[j] += u0*b0[j] + u1*b1[j]; c1[j] += v0*b0[j] + v1*b1[j] for
+// j in [0,n), n a multiple of 4. Uses separate VMULPD/VADDPD in the same
+// association as the Go code so results are bitwise identical.
+TEXT ·axpy2x2AVX(SB), NOSPLIT, $0-72
+	VBROADCASTSD u0+0(FP), Y0
+	VBROADCASTSD u1+8(FP), Y1
+	VBROADCASTSD v0+16(FP), Y2
+	VBROADCASTSD v1+24(FP), Y3
+	MOVQ b0+32(FP), SI
+	MOVQ b1+40(FP), DI
+	MOVQ c0+48(FP), R8
+	MOVQ c1+56(FP), R9
+	MOVQ n+64(FP), CX
+	SHRQ $2, CX
+	JZ   axpy22done
+	XORQ AX, AX
+
+axpy22loop:
+	VMOVUPD (SI)(AX*8), Y4        // b0
+	VMOVUPD (DI)(AX*8), Y5        // b1
+	VMULPD  Y4, Y0, Y6            // u0*b0
+	VMULPD  Y5, Y1, Y7            // u1*b1
+	VADDPD  Y7, Y6, Y6            // u0*b0 + u1*b1
+	VMOVUPD (R8)(AX*8), Y8        // c0
+	VADDPD  Y6, Y8, Y8            // c0 + (...)
+	VMOVUPD Y8, (R8)(AX*8)
+	VMULPD  Y4, Y2, Y6            // v0*b0
+	VMULPD  Y5, Y3, Y7            // v1*b1
+	VADDPD  Y7, Y6, Y6
+	VMOVUPD (R9)(AX*8), Y8        // c1
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (R9)(AX*8)
+	ADDQ    $4, AX
+	DECQ    CX
+	JNZ     axpy22loop
+
+axpy22done:
+	VZEROUPPER
+	RET
+
+// func axpy2x1AVX(u0, u1 float64, b0, b1, c0 *float64, n int)
+//
+// c0[j] += u0*b0[j] + u1*b1[j] for j in [0,n), n a multiple of 4.
+TEXT ·axpy2x1AVX(SB), NOSPLIT, $0-48
+	VBROADCASTSD u0+0(FP), Y0
+	VBROADCASTSD u1+8(FP), Y1
+	MOVQ b0+16(FP), SI
+	MOVQ b1+24(FP), DI
+	MOVQ c0+32(FP), R8
+	MOVQ n+40(FP), CX
+	SHRQ $2, CX
+	JZ   axpy21done
+	XORQ AX, AX
+
+axpy21loop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y5
+	VMULPD  Y4, Y0, Y6
+	VMULPD  Y5, Y1, Y7
+	VADDPD  Y7, Y6, Y6
+	VMOVUPD (R8)(AX*8), Y8
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (R8)(AX*8)
+	ADDQ    $4, AX
+	DECQ    CX
+	JNZ     axpy21loop
+
+axpy21done:
+	VZEROUPPER
+	RET
+
+// func dotLanesAVX(a, b *float64, n int) (s0, s1, s2, s3 float64)
+//
+// Computes 16 striped partial sums of a[p]*b[p] (stripe = p mod 16) in
+// four YMM accumulators, then folds them lanewise as
+// t[l] = (s[l] + s[l+4]) + (s[l+8] + s[l+12]) — the same reduction tree
+// as dotLanesGeneric. n must be a positive multiple of 16.
+TEXT ·dotLanesAVX(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	SHRQ $4, CX
+	JZ   dotdone
+	XORQ AX, AX
+
+dotloop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y5
+	VMULPD  Y5, Y4, Y4
+	VADDPD  Y4, Y0, Y0
+	VMOVUPD 32(SI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMULPD  Y5, Y4, Y4
+	VADDPD  Y4, Y1, Y1
+	VMOVUPD 64(SI)(AX*8), Y4
+	VMOVUPD 64(DI)(AX*8), Y5
+	VMULPD  Y5, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD 96(SI)(AX*8), Y4
+	VMOVUPD 96(DI)(AX*8), Y5
+	VMULPD  Y5, Y4, Y4
+	VADDPD  Y4, Y3, Y3
+	ADDQ    $16, AX
+	DECQ    CX
+	JNZ     dotloop
+
+dotdone:
+	// t = (Y0 + Y1) + (Y2 + Y3), lanewise.
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VMOVSD X0, s0+24(FP)
+	VUNPCKHPD X0, X0, X2
+	VMOVSD X2, s1+32(FP)
+	VMOVSD X1, s2+40(FP)
+	VUNPCKHPD X1, X1, X3
+	VMOVSD X3, s3+48(FP)
+	VZEROUPPER
+	RET

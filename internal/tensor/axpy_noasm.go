@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+func axpy2x2Accel(u0, u1, v0, v1 float64, b0, b1, c0, c1 []float64) int { return 0 }
+
+func axpy2x1Accel(u0, u1 float64, b0, b1, c0 []float64) int { return 0 }
+
+func dotLanesAccel(a, b []float64) dotLanes { return dotLanesGeneric(a, b) }

@@ -6,12 +6,12 @@ import (
 	"sync/atomic"
 )
 
-// parallelism is the number of goroutines GEMM may fan out to. FL rounds
+// parallelism is the number of workers GEMM may fan out to. FL rounds
 // train many clients concurrently, so the per-operation parallelism is a
 // process-wide knob rather than a per-call argument.
 var parallelism int64 = int64(runtime.GOMAXPROCS(0))
 
-// SetParallelism caps the number of goroutines used by a single GEMM call.
+// SetParallelism caps the number of workers used by a single GEMM call.
 // n < 1 resets to GOMAXPROCS. It returns the previous value.
 func SetParallelism(n int) int {
 	if n < 1 {
@@ -20,26 +20,75 @@ func SetParallelism(n int) int {
 	return int(atomic.SwapInt64(&parallelism, int64(n)))
 }
 
-// Parallelism reports the current GEMM goroutine cap.
+// Parallelism reports the current GEMM worker cap.
 func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
 
 // serialThreshold is the FLOP count below which GEMM stays single-threaded;
-// goroutine fan-out costs more than it saves on small matrices.
+// task fan-out costs more than it saves on small matrices.
 const serialThreshold = 1 << 16
+
+// Gemm used to spawn fresh goroutines on every call, which dominated the
+// cost of the many small batched GEMMs a training step issues. Work is now
+// handed to a persistent pool of GOMAXPROCS workers; submission never
+// blocks — if every worker is busy (e.g. nested GEMMs inside concurrently
+// training clients) the caller runs the chunk inline, so the pool cannot
+// deadlock.
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+)
+
+func trySubmit(task func()) bool {
+	poolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		poolTasks = make(chan func(), 4*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for f := range poolTasks {
+					f()
+				}
+			}()
+		}
+	})
+	select {
+	case poolTasks <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// Tiling parameters for the blocked kernel. A j-panel of nTile columns
+// keeps the active C segment and four B row segments (~40 KB) L1/L2
+// resident; a k-panel of kTile rows bounds the slab of B streamed per
+// output row. Panel boundaries are fixed by matrix shape alone, so the
+// floating-point accumulation order — and therefore the bitwise result —
+// is identical whether the row chunks run serially or on the pool.
+const (
+	kTile = 256
+	nTile = 1024
+)
 
 // MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
 func MatMul(a, b *Tensor) *Tensor {
-	m, k := a.Shape[0], a.Shape[1]
-	n := b.Shape[1]
-	c := New(m, n)
+	c := New(a.Shape[0], b.Shape[1])
 	Gemm(false, false, 1, a, b, 0, c)
-	_ = k
 	return c
 }
 
 // Gemm computes C = alpha*op(A)·op(B) + beta*C where op optionally
 // transposes its argument. A, B and C must be rank-2. Shapes after op must
 // satisfy op(A):[m,k], op(B):[k,n], C:[m,n].
+//
+// The kernel is register-blocked 2×2: two C rows by two B rows per inner
+// pass (axpy2x2), with a single-row tail that keeps the identical 2-wise
+// k grouping, and large operands are tiled into kTile×nTile panels. Rows
+// of C are partitioned across the persistent worker pool; each row is
+// owned by exactly one worker and accumulated in a fixed order, so
+// results are bitwise independent of the parallelism setting. Any future
+// kernel variant must preserve the per-row accumulation grouping (2-wise
+// over k, panels fixed by shape) or the serial/parallel/AVX paths stop
+// being bitwise identical — see TestGemmSerialParallelBitwise.
 func Gemm(transA, transB bool, alpha float64, a, b *Tensor, beta float64, c *Tensor) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(c.Shape) != 2 {
 		panic("tensor: Gemm requires rank-2 tensors")
@@ -81,65 +130,122 @@ func Gemm(transA, transB bool, alpha float64, a, b *Tensor, beta float64, c *Ten
 		if hi > m {
 			hi = m
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		if hi == m {
+			// Run the final chunk on the calling goroutine: the caller
+			// would otherwise idle in Wait while its work sits queued
+			// behind other callers' chunks.
 			gemmRows(transA, transB, alpha, a, b, c, lo, hi, k, n)
+			break
+		}
+		wg.Add(1)
+		task := func(lo, hi int) func() {
+			return func() {
+				defer wg.Done()
+				gemmRows(transA, transB, alpha, a, b, c, lo, hi, k, n)
+			}
 		}(lo, hi)
+		if !trySubmit(task) {
+			task()
+		}
 	}
 	wg.Wait()
 }
 
-// gemmRows accumulates rows [lo,hi) of C. The inner loops are arranged so
-// that the innermost access pattern is contiguous whenever the operand
-// layout permits (i-k-j order for the non-transposed cases).
+// gemmRows accumulates rows [lo,hi) of C with the blocked kernel. The loop
+// order keeps the innermost access contiguous whenever the operand layout
+// permits, and the per-element accumulation order depends only on the
+// matrix shapes, never on [lo,hi).
 func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n int) {
 	ad, bd, cd := a.Data, b.Data, c.Data
 	switch {
 	case !transA && !transB:
-		// C[i,j] += alpha * A[i,p] * B[p,j]
-		for i := lo; i < hi; i++ {
-			ci := cd[i*n : i*n+n]
-			ai := ad[i*k : i*k+k]
-			for p := 0; p < k; p++ {
-				av := alpha * ai[p]
-				if av == 0 {
-					continue
+		// C[i,j] += alpha * A[i,p] * B[p,j], tiled j-then-k, k unrolled 4x.
+		for j0 := 0; j0 < n; j0 += nTile {
+			j1 := j0 + nTile
+			if j1 > n {
+				j1 = n
+			}
+			for p0 := 0; p0 < k; p0 += kTile {
+				p1 := p0 + kTile
+				if p1 > k {
+					p1 = k
 				}
-				bp := bd[p*n : p*n+n]
-				for j, bv := range bp {
-					ci[j] += av * bv
+				nj := j1 - j0
+				i := lo
+				for ; i+2 <= hi; i += 2 {
+					c0 := cd[i*n+j0:][:nj]
+					c1 := cd[(i+1)*n+j0:][:nj]
+					a0 := ad[i*k : i*k+k]
+					a1 := ad[(i+1)*k : (i+1)*k+k]
+					p := p0
+					for ; p+2 <= p1; p += 2 {
+						axpy2x2(alpha*a0[p], alpha*a0[p+1], alpha*a1[p], alpha*a1[p+1],
+							bd[p*n+j0:][:nj], bd[(p+1)*n+j0:][:nj], c0, c1)
+					}
+					for ; p < p1; p++ {
+						u := alpha * a0[p]
+						v := alpha * a1[p]
+						bp := bd[p*n+j0:][:nj]
+						for j := range c0 {
+							bv := bp[j]
+							c0[j] += u * bv
+							c1[j] += v * bv
+						}
+					}
+				}
+				// The single-row tail mirrors the pair path's 2-wise k
+				// grouping exactly, so a row's accumulation order does not
+				// depend on which path (or worker chunk) processed it.
+				for ; i < hi; i++ {
+					ci := cd[i*n+j0:][:nj]
+					ai := ad[i*k : i*k+k]
+					p := p0
+					for ; p+2 <= p1; p += 2 {
+						axpy2x1(alpha*ai[p], alpha*ai[p+1],
+							bd[p*n+j0:][:nj], bd[(p+1)*n+j0:][:nj], ci)
+					}
+					for ; p < p1; p++ {
+						av := alpha * ai[p]
+						bp := bd[p*n+j0:][:nj]
+						for j := range ci {
+							ci[j] += av * bp[j]
+						}
+					}
 				}
 			}
 		}
 	case !transA && transB:
-		// C[i,j] += alpha * A[i,p] * B[j,p]  (dot of two rows)
+		// C[i,j] += alpha * A[i,p] * B[j,p]: a dot of two rows with the
+		// fixed 16-stripe reduction tree (see dot).
 		for i := lo; i < hi; i++ {
 			ai := ad[i*k : i*k+k]
 			ci := cd[i*n : i*n+n]
 			for j := 0; j < n; j++ {
-				bj := bd[j*k : j*k+k]
-				s := 0.0
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] += alpha * s
+				ci[j] += alpha * dot(ai, bd[j*k:j*k+k])
 			}
 		}
 	case transA && !transB:
-		// C[i,j] += alpha * A[p,i] * B[p,j]
+		// C[i,j] += alpha * A[p,i] * B[p,j], k unrolled 2x so each pass
+		// over a C row covers two B rows.
 		m := c.Shape[0]
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+2 <= k; p += 2 {
+			ap0 := ad[p*m : p*m+m]
+			ap1 := ad[(p+1)*m : (p+1)*m+m]
+			bp0 := bd[p*n : p*n+n]
+			bp1 := bd[(p+1)*n : (p+1)*n+n]
+			for i := lo; i < hi; i++ {
+				axpy2x1(alpha*ap0[i], alpha*ap1[i], bp0, bp1, cd[i*n:i*n+n])
+			}
+		}
+		for ; p < k; p++ {
 			ap := ad[p*m : p*m+m]
 			bp := bd[p*n : p*n+n]
 			for i := lo; i < hi; i++ {
 				av := alpha * ap[i]
-				if av == 0 {
-					continue
-				}
 				ci := cd[i*n : i*n+n]
-				for j, bv := range bp {
-					ci[j] += av * bv
+				for j := range ci {
+					ci[j] += av * bp[j]
 				}
 			}
 		}

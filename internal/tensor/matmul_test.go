@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gemmOperands builds operands for one (m,k,n, transA, transB) combo.
+func gemmOperands(rng *rand.Rand, m, k, n int, transA, transB bool) (a, b *Tensor) {
+	if transA {
+		a = Randn(rng, 1, k, m)
+	} else {
+		a = Randn(rng, 1, m, k)
+	}
+	if transB {
+		b = Randn(rng, 1, n, k)
+	} else {
+		b = Randn(rng, 1, k, n)
+	}
+	return a, b
+}
+
+// TestGemmSerialParallelBitwise is the determinism contract of the tiled
+// kernel: for every transpose combination, alpha/beta case, and shape edge
+// (m==1, empty dimensions, odd sizes that exercise the pair/tail paths,
+// sizes above the fan-out threshold), running with SetParallelism(1) and
+// with a worker pool must produce bitwise-identical results.
+func TestGemmSerialParallelBitwise(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 7, 5},      // m==1 fast path
+		{3, 1, 4},      // k==1: only the scalar k-tail runs
+		{0, 3, 2},      // empty m
+		{4, 0, 3},      // empty k
+		{5, 4, 0},      // empty n
+		{17, 31, 29},   // odd everything, below the parallel threshold
+		{33, 129, 65},  // odd everything, above the parallel threshold
+		{64, 300, 128}, // k spanning multiple panels
+	}
+	cases := []struct{ alpha, beta float64 }{
+		{1, 0}, {2, 3}, {0.5, 1}, {0, 2}, {-1.25, -0.5},
+	}
+	defer SetParallelism(SetParallelism(1))
+	for _, sh := range shapes {
+		for _, ab := range cases {
+			for _, transA := range []bool{false, true} {
+				for _, transB := range []bool{false, true} {
+					rng := rand.New(rand.NewSource(int64(7*sh.m + 13*sh.k + 29*sh.n)))
+					a, b := gemmOperands(rng, sh.m, sh.k, sh.n, transA, transB)
+					cInit := Randn(rng, 1, sh.m, sh.n)
+
+					SetParallelism(1)
+					serial := cInit.Clone()
+					Gemm(transA, transB, ab.alpha, a, b, ab.beta, serial)
+
+					SetParallelism(4)
+					par := cInit.Clone()
+					Gemm(transA, transB, ab.alpha, a, b, ab.beta, par)
+
+					for i := range serial.Data {
+						if serial.Data[i] != par.Data[i] {
+							t.Fatalf("m=%d k=%d n=%d transA=%v transB=%v alpha=%v beta=%v: parallel differs at %d: %v vs %v",
+								sh.m, sh.k, sh.n, transA, transB, ab.alpha, ab.beta, i, serial.Data[i], par.Data[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmAccelMatchesGeneric pins the AVX micro-kernels to the portable
+// Go implementations: identical bits, not just close values.
+func TestGemmAccelMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 3, 4, 7, 8, 15, 16, 31, 64, 100} {
+		b0 := Randn(rng, 1, n).Data
+		b1 := Randn(rng, 1, n).Data
+		base := Randn(rng, 1, n).Data
+
+		got0 := append([]float64(nil), base...)
+		got1 := append([]float64(nil), base...)
+		axpy2x2(1.5, -0.25, 0.75, 2, b0, b1, got0, got1)
+		want0 := append([]float64(nil), base...)
+		want1 := append([]float64(nil), base...)
+		for j := 0; j < n; j++ {
+			want0[j] += 1.5*b0[j] + -0.25*b1[j]
+			want1[j] += 0.75*b0[j] + 2*b1[j]
+		}
+		for j := 0; j < n; j++ {
+			if got0[j] != want0[j] || got1[j] != want1[j] {
+				t.Fatalf("axpy2x2 n=%d differs at %d", n, j)
+			}
+		}
+
+		got := append([]float64(nil), base...)
+		axpy2x1(0.5, -3, b0, b1, got)
+		want := append([]float64(nil), base...)
+		for j := 0; j < n; j++ {
+			want[j] += 0.5*b0[j] + -3*b1[j]
+		}
+		for j := 0; j < n; j++ {
+			if got[j] != want[j] {
+				t.Fatalf("axpy2x1 n=%d differs at %d", n, j)
+			}
+		}
+
+		if n >= 16 {
+			n16 := n &^ 15
+			gotLanes := dotLanesAccel(b0[:n16], b1[:n16])
+			wantLanes := dotLanesGeneric(b0[:n16], b1[:n16])
+			if gotLanes != wantLanes {
+				t.Fatalf("dotLanes n=%d: %v vs %v", n16, gotLanes, wantLanes)
+			}
+		}
+	}
+}
+
+// TestMatMulEmpty pins the MatMul wrapper on degenerate shapes.
+func TestMatMulEmpty(t *testing.T) {
+	a := New(0, 4)
+	b := New(4, 3)
+	c := MatMul(a, b)
+	if c.Shape[0] != 0 || c.Shape[1] != 3 || len(c.Data) != 0 {
+		t.Fatalf("MatMul empty result shape %v", c.Shape)
+	}
+}
