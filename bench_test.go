@@ -359,6 +359,27 @@ func BenchmarkGemmTiled(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmSkinny measures the skinny-m/huge-n shape batched conv
+// produces ([OutC, InC·K²] × [InC·K², N·OH·OW] with small OutC), where
+// row-only chunking would leave every worker but one idle; the j-split
+// grid is what keeps the pool busy here.
+func BenchmarkGemmSkinny(b *testing.B) {
+	for _, m := range []int{2, 8} {
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			const k, n = 72, 16384
+			rng := rand.New(rand.NewSource(1))
+			x := tensor.Randn(rng, 1, m, k)
+			y := tensor.Randn(rng, 1, k, n)
+			c := tensor.New(m, n)
+			b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(false, false, 1, x, y, 0, c)
+			}
+		})
+	}
+}
+
 func BenchmarkLocalTrainEpoch(b *testing.B) {
 	sc := benchScale()
 	mcfg, err := exp.ModelConfig(models.ResNet18, "cifar10", sc)

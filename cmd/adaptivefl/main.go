@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"adaptivefl/internal/baselines"
+	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/wire"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 		clients = flag.Int("clients", 0, "override client population")
 		k       = flag.Int("k", 0, "override clients per round")
 		seed    = flag.Int64("seed", 0, "override seed")
+		codec   = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,18 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *codec != "" {
+		if _, err := wire.ByTag(*codec); err != nil {
+			fatal(err)
+		}
+		// Only the AdaptiveFL server moves models through a codec; a
+		// baseline run with -codec would silently measure the lossless
+		// in-memory path under a codec label.
+		if !strings.HasPrefix(*alg, "AdaptiveFL") {
+			fatal(fmt.Errorf("-codec applies to AdaptiveFL variants only (got -alg %s)", *alg))
+		}
+		sc.Codec = *codec
 	}
 
 	fed, err := exp.BuildFederation(models.Arch(*arch), *dataset, exp.Dist(*dist), exp.DefaultProportions, sc)
@@ -72,6 +88,11 @@ func main() {
 		time.Since(start).Round(time.Millisecond))
 	if a, ok := runner.(*baselines.Adaptive); ok {
 		fmt.Printf("communication waste: %.2f%%\n", a.Waste()*100)
+		if sc.Codec != "" {
+			sent, back := core.TotalWireBytes(a.Srv.Stats())
+			fmt.Printf("wire bytes (codec=%s): %.2f MB down, %.2f MB up\n",
+				sc.Codec, float64(sent)/1e6, float64(back)/1e6)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/wire"
 )
 
 func main() {
@@ -26,12 +27,23 @@ func main() {
 		datasets = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
 		archs    = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
 		dists    = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
+		codec    = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 	)
 	flag.Parse()
 
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
+	}
+	if *codec != "" {
+		if _, err := wire.ByTag(*codec); err != nil {
+			fatal(err)
+		}
+		sc.Codec = *codec
+		// Unlike cmd/adaptivefl (which rejects -codec for baselines),
+		// flbench runs mixed-algorithm experiments by design — so say
+		// out loud which rows the codec actually touches.
+		fmt.Fprintf(os.Stderr, "flbench: -codec %s applies to AdaptiveFL variants only; baseline rows run the exact in-memory path\n", *codec)
 	}
 	w := os.Stdout
 

@@ -23,6 +23,10 @@ func main() {
 	sc.Rounds = 12
 	sc.EvalEvery = 3
 	sc.Parallelism = 10
+	// Ship models over the int8-quantized wire codec: the round ledger
+	// then carries real encoded byte counts, and the simulated transfer
+	// times below reflect them (Pi-class uplinks are the bottleneck).
+	sc.Codec = "q8"
 
 	platform := testbed.Table5Platform()
 	fmt.Println("simulated platform (paper Table 5):")
@@ -62,4 +66,7 @@ func main() {
 		}
 	}
 	fmt.Printf("\ncommunication waste on the test bed: %.1f%%\n", a.Waste()*100)
+	sent, back := core.TotalWireBytes(a.Srv.Stats())
+	fmt.Printf("wire traffic (codec=%s): %.2f MB down, %.2f MB up\n",
+		sc.Codec, float64(sent)/1e6, float64(back)/1e6)
 }

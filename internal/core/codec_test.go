@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/eval"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/wire"
+)
+
+// codecTestClients mirrors testClients with a much larger test split, so
+// a 2-point accuracy comparison is not drowned by evaluation noise (at 80
+// test samples one flipped prediction already moves 1.25 points).
+func codecTestClients(t *testing.T, n int, pool *prune.Pool) ([]*Client, *data.Dataset) {
+	t.Helper()
+	cfg := data.SynthConfig{Name: "t", Classes: 4, Channels: 3, Size: 32,
+		Train: n * 24, Test: 400, Noise: 0.3, MaxShift: 1, Seed: 11}
+	train, test := data.Generate(cfg)
+	rng := rand.New(rand.NewSource(5))
+	parts := data.PartitionIID(rng, train.Len(), n)
+	devices := NewPopulation(rng, n, [3]float64{4, 3, 3}, pool, DefaultDeviceModel())
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = &Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
+	}
+	return clients, test
+}
+
+// runWithCodec executes a small synthetic federation with the given wire
+// codec and returns the final full-model accuracy plus the byte totals
+// from the round ledger (real encoded sizes, not estimates).
+func runWithCodec(t *testing.T, codec wire.Codec, rounds int) (acc float64, sent, back int64) {
+	t.Helper()
+	pool := testPool(t)
+	clients, test := codecTestClients(t, 8, pool)
+	srv, err := NewServer(Config{
+		Model: testModelCfg(), Pool: prune.Config{P: 3},
+		ClientsPerRound: 4,
+		Train:           TrainConfig{LocalEpochs: 2, BatchSize: 12, LR: 0.12, Momentum: 0.5},
+		Seed:            31, Codec: codec,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(rounds, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range srv.Stats() {
+		if st.SentBytes == 0 {
+			t.Fatalf("round %d recorded no encoded bytes", st.Round)
+		}
+	}
+	sent, back = TotalWireBytes(srv.Stats())
+	m, err := srv.GlobalModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval.Accuracy(m, test, 40), sent, back
+}
+
+// TestQ8CutsBytesKeepsAccuracy is the wire subsystem's acceptance bar:
+// on the same seed, int8 quantization must cut the bytes a round moves by
+// ≥4× versus the raw float64 encoding while landing within 2 accuracy
+// points of the raw baseline.
+func TestQ8CutsBytesKeepsAccuracy(t *testing.T) {
+	rounds := 14
+	if testing.Short() {
+		// The byte-ratio bound holds from round one; only the accuracy
+		// comparison needs a full training run.
+		rounds = 2
+	}
+	rawAcc, rawSent, rawBack := runWithCodec(t, wire.Raw{}, rounds)
+	q8Acc, q8Sent, q8Back := runWithCodec(t, wire.Q8{}, rounds)
+
+	rawTotal := rawSent + rawBack
+	q8Total := q8Sent + q8Back
+	if ratio := float64(rawTotal) / float64(q8Total); ratio < 4 {
+		t.Fatalf("q8 moved %d bytes vs raw %d — %.2fx, want ≥4x", q8Total, rawTotal, ratio)
+	}
+	if testing.Short() {
+		return
+	}
+	// One-sided: quantization must not cost more than 2 points. Landing
+	// above the baseline is fine (int8 noise can act as regularisation).
+	if q8Acc < rawAcc-0.02 {
+		t.Fatalf("q8 accuracy %.4f vs raw %.4f — %.1f points below, want ≤2", q8Acc, rawAcc, (rawAcc-q8Acc)*100)
+	}
+}
+
+// TestDeltaUplinkSparsity: with the delta codec, uploads (which diff
+// against the dispatched reference) must come back much smaller than the
+// dense dispatches going down.
+func TestDeltaUplinkSparsity(t *testing.T) {
+	_, sent, back := runWithCodec(t, wire.NewDeltaTopK(), 2)
+	if back == 0 {
+		t.Fatal("no upload bytes recorded")
+	}
+	// Downlink is dense f32 (no reference yet); uplink keeps ~10% of
+	// coordinates. Sent and returned cover different model sizes, so just
+	// require a clear asymmetry.
+	if float64(back) > 0.5*float64(sent) {
+		t.Fatalf("delta uplink %d bytes vs downlink %d — expected sparse uploads", back, sent)
+	}
+}

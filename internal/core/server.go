@@ -10,6 +10,7 @@ import (
 	"adaptivefl/internal/nn"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
+	"adaptivefl/internal/wire"
 )
 
 // Config assembles an AdaptiveFL experiment.
@@ -34,6 +35,13 @@ type Config struct {
 	// training on the client's dataset; internal/fednet provides an
 	// HTTP-backed implementation for networked device agents.
 	Trainer Trainer
+	// Codec, when set, routes the in-process training path through the
+	// wire encoding both ways — dispatches train on the decoded (possibly
+	// lossy) weights and uploads are re-decoded before aggregation — so a
+	// simulation measures exactly the model quality a networked
+	// deployment with that codec would see, and the round ledger carries
+	// real encoded byte counts. Nil keeps the exact float64 path.
+	Codec wire.Codec
 }
 
 // TrainResult is the outcome of one dispatch: the trained submodel state,
@@ -45,6 +53,9 @@ type TrainResult struct {
 	Samples int
 	Got     prune.Submodel
 	Failed  bool
+	// SentBytes / GotBytes are the encoded payload sizes that crossed the
+	// wire (0 when the trainer moved raw in-memory states).
+	SentBytes, GotBytes int64
 }
 
 // Trainer executes Steps 4-5 of Algorithm 1 for one dispatch: on-device
@@ -59,6 +70,10 @@ type Dispatch struct {
 	Client    int
 	Sent, Got prune.Submodel
 	Failed    bool // device could not fit any derivable pool member
+	// SentBytes / GotBytes are real encoded payload sizes when the round
+	// moved models through a wire codec (0 otherwise). testbed.Sim
+	// prefers these over parameter-count estimates.
+	SentBytes, GotBytes int64
 }
 
 // RoundStats aggregates one round's communication ledger.
@@ -69,6 +84,9 @@ type RoundStats struct {
 	// dispatched and returned models (the unit behind the paper's
 	// communication-waste rate).
 	SentParams, ReturnedParams int64
+	// SentBytes / ReturnedBytes sum the encoded payload sizes (0 when no
+	// codec was in play).
+	SentBytes, ReturnedBytes int64
 }
 
 // Server is the AdaptiveFL cloud server.
@@ -165,12 +183,14 @@ func (s *Server) SubmodelByName(name string) (*models.Model, error) {
 
 // localResult carries one slot's training outcome back to the server.
 type localResult struct {
-	slot    int
-	state   nn.State
-	samples int
-	got     prune.Submodel
-	failed  bool
-	err     error
+	slot      int
+	state     nn.State
+	samples   int
+	got       prune.Submodel
+	failed    bool
+	sentBytes int64
+	gotBytes  int64
+	err       error
 }
 
 // Round executes one FL round of Algorithm 1: split (the pool is static —
@@ -208,7 +228,36 @@ func (s *Server) Round() error {
 		slots[i] = slot{sent: sent, client: c}
 	}
 
-	// Phase 2 — parallel local training.
+	// Phase 2 — parallel local training. The in-process trainer encodes
+	// each distinct dispatched pool member once per round up front:
+	// stateless codecs are deterministic, so the K slots sharing a member
+	// would otherwise repeat an identical full-model encode+decode each.
+	trainer := s.cfg.Trainer
+	if trainer == nil {
+		lt := localTrainer{s: s}
+		if s.cfg.Codec != nil {
+			lt.pre = make(map[int]preDispatch)
+			for _, sl := range slots {
+				if _, ok := lt.pre[sl.sent.Index]; ok {
+					continue
+				}
+				st, err := s.pool.ExtractState(s.global, sl.sent)
+				if err != nil {
+					return fmt.Errorf("core: round %d extract %s: %w", s.round, sl.sent.Name(), err)
+				}
+				enc, err := s.cfg.Codec.Encode(st, nil)
+				if err != nil {
+					return fmt.Errorf("core: round %d encode %s: %w", s.round, sl.sent.Name(), err)
+				}
+				dec, err := s.cfg.Codec.Decode(enc, nil)
+				if err != nil {
+					return fmt.Errorf("core: round %d decode %s: %w", s.round, sl.sent.Name(), err)
+				}
+				lt.pre[sl.sent.Index] = preDispatch{bytes: int64(len(enc)), state: dec}
+			}
+		}
+		trainer = lt
+	}
 	par := s.cfg.Parallelism
 	if par <= 0 || par > k {
 		par = k
@@ -223,7 +272,7 @@ func (s *Server) Round() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = s.trainSlot(slots[i].client, slots[i].sent, seed)
+			results[i] = s.trainSlot(trainer, slots[i].client, slots[i].sent, seed)
 			results[i].slot = i
 		}(i, seed)
 	}
@@ -235,9 +284,11 @@ func (s *Server) Round() error {
 		if res.err != nil {
 			return fmt.Errorf("core: round %d client %d: %w", s.round, slots[i].client, res.err)
 		}
-		d := Dispatch{Client: slots[i].client, Sent: slots[i].sent, Got: res.got, Failed: res.failed}
+		d := Dispatch{Client: slots[i].client, Sent: slots[i].sent, Got: res.got, Failed: res.failed,
+			SentBytes: res.sentBytes, GotBytes: res.gotBytes}
 		stats.Dispatches = append(stats.Dispatches, d)
 		stats.SentParams += slots[i].sent.Size
+		stats.SentBytes += res.sentBytes
 		if res.failed {
 			// Nothing came back; the dispatch was pure waste. Record the
 			// smallest member as the observed return for the tables so
@@ -246,6 +297,7 @@ func (s *Server) Round() error {
 			continue
 		}
 		stats.ReturnedParams += res.got.Size
+		stats.ReturnedBytes += res.gotBytes
 		s.tables.RecordDispatch(slots[i].sent, res.got, slots[i].client)
 		updates = append(updates, agg.Update{State: res.state, Weight: float64(res.samples)})
 	}
@@ -260,46 +312,105 @@ func (s *Server) Round() error {
 	return nil
 }
 
-// trainSlot performs Step 4/5 for one dispatch, delegating to the
-// configured Trainer (default: in-process on the client's dataset).
-func (s *Server) trainSlot(clientID int, sent prune.Submodel, seed int64) localResult {
-	st, err := s.pool.ExtractState(s.global, sent)
-	if err != nil {
-		return localResult{err: err}
-	}
-	trainer := s.cfg.Trainer
-	if trainer == nil {
-		trainer = localTrainer{s}
+// preDecodedTrainer is an optional Trainer capability: a trainer that
+// already holds the dispatch state for a pool member reports it here so
+// the server skips an extraction the trainer would discard unread.
+// Wrapping trainers should forward this method to preserve the skip.
+type preDecodedTrainer interface {
+	PreDecodedFor(memberIndex int) bool
+}
+
+// trainSlot performs Step 4/5 for one dispatch, delegating to the given
+// Trainer (built once per round).
+func (s *Server) trainSlot(trainer Trainer, clientID int, sent prune.Submodel, seed int64) localResult {
+	var st nn.State
+	if pd, ok := trainer.(preDecodedTrainer); !ok || !pd.PreDecodedFor(sent.Index) {
+		var err error
+		if st, err = s.pool.ExtractState(s.global, sent); err != nil {
+			return localResult{err: err}
+		}
 	}
 	res, err := trainer.TrainDispatch(clientID, sent, st, seed)
 	if err != nil {
 		return localResult{err: err}
 	}
 	if res.Failed {
-		return localResult{failed: true, got: sent}
+		return localResult{failed: true, got: sent, sentBytes: res.SentBytes}
 	}
-	return localResult{state: res.State, samples: res.Samples, got: res.Got}
+	return localResult{state: res.State, samples: res.Samples, got: res.Got,
+		sentBytes: res.SentBytes, gotBytes: res.GotBytes}
+}
+
+// preDispatch is one pre-encoded dispatch: the wire size and the decoded
+// (possibly lossy) state the device-side training sees. The state is
+// shared read-only across the round's slots.
+type preDispatch struct {
+	bytes int64
+	state nn.State
 }
 
 // localTrainer is the default in-process Trainer: it reads the client's
 // device capacity, prunes to the largest derivable pool member, and trains
 // on the client's local shard.
-type localTrainer struct{ s *Server }
+type localTrainer struct {
+	s *Server
+	// pre caches the codec round-trip of each dispatched pool member for
+	// one round, keyed by member index (nil when no codec is configured).
+	pre map[int]preDispatch
+}
 
-// TrainDispatch implements Trainer.
+// PreDecodedFor implements preDecodedTrainer.
+func (lt localTrainer) PreDecodedFor(memberIndex int) bool {
+	_, ok := lt.pre[memberIndex]
+	return ok
+}
+
+// TrainDispatch implements Trainer. With a codec configured, the dispatch
+// and upload both round-trip through the wire encoding so the in-process
+// run trains on — and aggregates — exactly what a networked device would
+// see, and the ledger carries the real encoded sizes.
 func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error) {
+	var sentBytes int64
+	if c := lt.s.cfg.Codec; c != nil {
+		if d, ok := lt.pre[sent.Index]; ok {
+			sentBytes, sentState = d.bytes, d.state
+		} else {
+			// Fallback for direct calls outside Round's precompute.
+			enc, err := c.Encode(sentState, nil)
+			if err != nil {
+				return TrainResult{}, err
+			}
+			sentBytes = int64(len(enc))
+			if sentState, err = c.Decode(enc, nil); err != nil {
+				return TrainResult{}, err
+			}
+		}
+	}
 	client := lt.s.clients[clientID]
 	capacity := client.Device.Capacity()
 	got, ok := lt.s.pool.LargestFit(sent, capacity)
 	if !ok {
-		return TrainResult{Failed: true}, nil
+		return TrainResult{Failed: true, SentBytes: sentBytes}, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
 	if err != nil {
 		return TrainResult{}, err
 	}
-	return TrainResult{State: trained, Samples: client.Data.Len(), Got: got}, nil
+	res := TrainResult{State: trained, Samples: client.Data.Len(), Got: got, SentBytes: sentBytes}
+	if c := lt.s.cfg.Codec; c != nil {
+		// The uplink reference is the decoded dispatched state — the same
+		// tensor a device agent would diff against.
+		enc, err := c.Encode(trained, sentState)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		res.GotBytes = int64(len(enc))
+		if res.State, err = c.Decode(enc, sentState); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	return res, nil
 }
 
 // Run executes rounds and invokes cb (if non-nil) after each; cb returning
@@ -314,6 +425,16 @@ func (s *Server) Run(rounds int, cb func(round int) bool) error {
 		}
 	}
 	return nil
+}
+
+// TotalWireBytes sums the encoded payload sizes across the recorded
+// rounds. Both totals are zero when no wire codec was in play.
+func TotalWireBytes(stats []RoundStats) (sent, returned int64) {
+	for _, st := range stats {
+		sent += st.SentBytes
+		returned += st.ReturnedBytes
+	}
+	return sent, returned
 }
 
 // CommWasteRate computes the paper's communication-waste metric over all

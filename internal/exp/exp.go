@@ -33,6 +33,10 @@ type Scale struct {
 	Momentum         float64
 	Parallelism      int
 	Seed             int64
+	// Codec names the wire codec the AdaptiveFL server moves models
+	// through ("raw", "f32", "q8", "delta" — see internal/wire). Empty
+	// keeps the exact in-memory float64 path.
+	Codec string
 }
 
 // QuickScale finishes an experiment in tens of seconds; used by the

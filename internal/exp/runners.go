@@ -8,6 +8,7 @@ import (
 	"adaptivefl/internal/eval"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
+	"adaptivefl/internal/wire"
 )
 
 // NewRunner constructs an algorithm runner by name. Supported names:
@@ -24,6 +25,13 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 		Parallelism: sc.Parallelism,
 	}
 	adaptiveRL := func(mode rl.Mode, greedy bool, p int, rlCfg rl.Config, label string) (baselines.Runner, error) {
+		var codec wire.Codec
+		if sc.Codec != "" {
+			var err error
+			if codec, err = wire.ByTag(sc.Codec); err != nil {
+				return nil, err
+			}
+		}
 		return baselines.NewAdaptive(core.Config{
 			Model:           fed.Model,
 			Pool:            prune.Config{P: p},
@@ -34,6 +42,7 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			Train:           sc.TrainConfig(),
 			Seed:            sc.Seed + 101,
 			Parallelism:     sc.Parallelism,
+			Codec:           codec,
 		}, fed.Clients, label)
 	}
 	adaptive := func(mode rl.Mode, greedy bool, p int, label string) (baselines.Runner, error) {

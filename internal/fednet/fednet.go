@@ -4,8 +4,12 @@
 // Algorithm 1 with an HTTPTrainer that dispatches submodels to agents and
 // collects the (possibly further pruned) trained submodels.
 //
-// The wire format is JSON envelopes carrying persist-encoded state dicts,
-// so a dispatch is one POST /train round trip. Device-side resource-aware
+// The wire format is JSON envelopes carrying codec-encoded state dicts
+// (internal/wire), so a dispatch is one POST /train round trip. Requests
+// carry the codec tag the server chose for this agent — negotiated via
+// GET /train, which lists the agent's supported codecs — and the agent
+// answers in the same encoding. An untagged request means the raw persist
+// v1 format, so pre-codec peers interoperate. Device-side resource-aware
 // pruning happens inside the agent, exactly as in the paper: the server
 // never sees the device's capacity, only which model size came back.
 package fednet
@@ -22,15 +26,18 @@ import (
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/nn"
-	"adaptivefl/internal/persist"
 	"adaptivefl/internal/prune"
+	"adaptivefl/internal/wire"
 )
 
 // TrainRequest is the server→device dispatch payload.
 type TrainRequest struct {
 	// SentIndex identifies the dispatched pool member.
 	SentIndex int `json:"sent_index"`
-	// State is the persist-encoded weight slice of the dispatched model.
+	// Codec tags the encoding of State (and of the expected upload).
+	// Empty means raw, the pre-codec persist v1 format.
+	Codec string `json:"codec,omitempty"`
+	// State is the codec-encoded weight slice of the dispatched model.
 	State []byte `json:"state"`
 	// Train carries the local hyperparameters.
 	Train core.TrainConfig `json:"train"`
@@ -44,10 +51,19 @@ type TrainResponse struct {
 	Failed bool `json:"failed"`
 	// GotIndex identifies the pool member the device actually trained.
 	GotIndex int `json:"got_index"`
-	// State is the persist-encoded trained weights (empty when Failed).
+	// Codec tags the encoding of State; delta uploads diff against the
+	// dispatched state the agent decoded.
+	Codec string `json:"codec,omitempty"`
+	// State is the codec-encoded trained weights (empty when Failed).
 	State []byte `json:"state,omitempty"`
 	// Samples is the local dataset size (the aggregation weight).
 	Samples int `json:"samples"`
+}
+
+// CodecList is the GET /train negotiation payload: the codec tags the
+// agent accepts, in its order of preference.
+type CodecList struct {
+	Codecs []string `json:"codecs"`
 }
 
 // Agent is the device-side service: it owns a data shard and a device
@@ -57,6 +73,9 @@ type Agent struct {
 	Client *core.Client
 	Model  models.Config
 	Pool   *prune.Pool
+	// Codecs restricts which wire codecs this agent accepts, in order of
+	// preference. Nil accepts every registered codec, preferring raw.
+	Codecs []string
 }
 
 // NewAgent builds a device agent. The pool is rebuilt from the model and
@@ -69,8 +88,44 @@ func NewAgent(client *core.Client, mcfg models.Config, pcfg prune.Config) (*Agen
 	return &Agent{Client: client, Model: mcfg, Pool: pool}, nil
 }
 
-// ServeHTTP handles POST /train.
+// SupportedCodecs returns the codec tags this agent accepts, in
+// preference order.
+func (a *Agent) SupportedCodecs() []string {
+	if a.Codecs != nil {
+		return a.Codecs
+	}
+	tags := []string{wire.TagRaw}
+	for _, t := range wire.Tags() {
+		if t != wire.TagRaw {
+			tags = append(tags, t)
+		}
+	}
+	return tags
+}
+
+// acceptsCodec reports whether tag is in the agent's accept list.
+func (a *Agent) acceptsCodec(tag string) bool {
+	if tag == "" {
+		tag = wire.TagRaw
+	}
+	for _, t := range a.SupportedCodecs() {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeHTTP handles POST /train (a dispatch) and GET /train (codec
+// negotiation: the supported tag list).
 func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(CodecList{Codecs: a.SupportedCodecs()}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "fednet: POST only", http.StatusMethodNotAllowed)
 		return
@@ -102,13 +157,20 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 	if req.SentIndex < 0 || req.SentIndex >= len(a.Pool.Members) {
 		return TrainResponse{}, fmt.Errorf("fednet: sent index %d outside pool", req.SentIndex)
 	}
+	if !a.acceptsCodec(req.Codec) {
+		return TrainResponse{}, fmt.Errorf("fednet: codec %q not accepted (supported: %v)", req.Codec, a.SupportedCodecs())
+	}
+	codec, err := wire.ByTag(req.Codec)
+	if err != nil {
+		return TrainResponse{}, fmt.Errorf("fednet: %w", err)
+	}
 	sent := a.Pool.Members[req.SentIndex]
 	capacity := a.Client.Device.Capacity()
 	got, ok := a.Pool.LargestFit(sent, capacity)
 	if !ok {
 		return TrainResponse{Failed: true}, nil
 	}
-	st, err := persist.DecodeFromBytes(req.State)
+	st, err := codec.Decode(req.State, nil)
 	if err != nil {
 		return TrainResponse{}, fmt.Errorf("fednet: decode dispatched state: %w", err)
 	}
@@ -117,11 +179,13 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 	if err != nil {
 		return TrainResponse{}, err
 	}
-	wire, err := persist.EncodeToBytes(trained)
+	// The upload diffs against the dispatched state as this device
+	// decoded it — the reference the server reconstructs the same way.
+	up, err := codec.Encode(trained, st)
 	if err != nil {
 		return TrainResponse{}, err
 	}
-	return TrainResponse{GotIndex: got.Index, State: wire, Samples: a.Client.Data.Len()}, nil
+	return TrainResponse{GotIndex: got.Index, Codec: codec.Tag(), State: up, Samples: a.Client.Data.Len()}, nil
 }
 
 // HTTPTrainer implements core.Trainer by POSTing dispatches to per-client
@@ -135,6 +199,11 @@ type HTTPTrainer struct {
 	Train core.TrainConfig
 	// HTTPClient defaults to a client with a 5-minute timeout.
 	HTTPClient *http.Client
+	// Codec encodes dispatches (nil means raw). Negotiate can override it
+	// per client with what each agent actually supports.
+	Codec wire.Codec
+	// perClient holds negotiated per-agent codecs, keyed by client ID.
+	perClient map[int]wire.Codec
 }
 
 // NewHTTPTrainer builds a trainer for the given agent endpoints.
@@ -145,17 +214,67 @@ func NewHTTPTrainer(urls []string, pool *prune.Pool, train core.TrainConfig) *HT
 	}
 }
 
+// codecFor resolves the codec for one client: negotiated first, then the
+// trainer default, then raw.
+func (t *HTTPTrainer) codecFor(clientID int) wire.Codec {
+	if c, ok := t.perClient[clientID]; ok {
+		return c
+	}
+	if t.Codec != nil {
+		return t.Codec
+	}
+	return wire.Raw{}
+}
+
+// Negotiate asks every agent (GET on its /train URL) for its supported
+// codecs and records, per client, the first of preferred that the agent
+// accepts. Clients whose agents support none of preferred — or whose
+// negotiation request fails — fall back to raw, the baseline every agent
+// speaks, NOT the trainer default (which the agent might reject and turn
+// a transient negotiation failure into a round-fatal dispatch error).
+// Negotiation is an optimisation, not a requirement, so per-agent errors
+// do not abort it.
+func (t *HTTPTrainer) Negotiate(preferred ...wire.Codec) {
+	if t.perClient == nil {
+		t.perClient = make(map[int]wire.Codec, len(t.URLs))
+	}
+	for id, url := range t.URLs {
+		t.perClient[id] = wire.Raw{}
+		httpResp, err := t.HTTPClient.Get(url)
+		if err != nil {
+			continue
+		}
+		var list CodecList
+		err = json.NewDecoder(httpResp.Body).Decode(&list)
+		httpResp.Body.Close()
+		if err != nil || httpResp.StatusCode != http.StatusOK {
+			continue
+		}
+		supported := make(map[string]bool, len(list.Codecs))
+		for _, tag := range list.Codecs {
+			supported[tag] = true
+		}
+		for _, c := range preferred {
+			if supported[c.Tag()] {
+				t.perClient[id] = c
+				break
+			}
+		}
+	}
+}
+
 // TrainDispatch implements core.Trainer over HTTP.
 func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
 	if clientID < 0 || clientID >= len(t.URLs) {
 		return core.TrainResult{}, fmt.Errorf("fednet: no agent URL for client %d", clientID)
 	}
-	wire, err := persist.EncodeToBytes(sentState)
+	codec := t.codecFor(clientID)
+	down, err := codec.Encode(sentState, nil)
 	if err != nil {
 		return core.TrainResult{}, err
 	}
 	reqBody, err := json.Marshal(TrainRequest{
-		SentIndex: sent.Index, State: wire, Train: t.Train, Seed: seed,
+		SentIndex: sent.Index, Codec: codec.Tag(), State: down, Train: t.Train, Seed: seed,
 	})
 	if err != nil {
 		return core.TrainResult{}, err
@@ -173,20 +292,34 @@ func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return core.TrainResult{}, err
 	}
+	sentBytes := int64(len(down))
 	if resp.Failed {
-		return core.TrainResult{Failed: true}, nil
+		return core.TrainResult{Failed: true, SentBytes: sentBytes}, nil
 	}
 	if resp.GotIndex < 0 || resp.GotIndex >= len(t.Pool.Members) {
 		return core.TrainResult{}, fmt.Errorf("fednet: client %d returned bad member index %d", clientID, resp.GotIndex)
 	}
-	st, err := persist.DecodeFromBytes(resp.State)
+	upCodec, err := wire.ByTag(resp.Codec)
+	if err != nil {
+		return core.TrainResult{}, fmt.Errorf("fednet: client %d: %w", clientID, err)
+	}
+	var ref nn.State
+	if upCodec.UsesRef() {
+		// Reconstruct the agent's reference — its decode of the dispatch.
+		if ref, err = codec.Decode(down, nil); err != nil {
+			return core.TrainResult{}, err
+		}
+	}
+	st, err := upCodec.Decode(resp.State, ref)
 	if err != nil {
 		return core.TrainResult{}, fmt.Errorf("fednet: decode upload from client %d: %w", clientID, err)
 	}
 	return core.TrainResult{
-		State:   st,
-		Samples: resp.Samples,
-		Got:     t.Pool.Members[resp.GotIndex],
+		State:     st,
+		Samples:   resp.Samples,
+		Got:       t.Pool.Members[resp.GotIndex],
+		SentBytes: sentBytes,
+		GotBytes:  int64(len(resp.State)),
 	}, nil
 }
 

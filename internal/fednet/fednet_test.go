@@ -11,6 +11,7 @@ import (
 	"adaptivefl/internal/nn"
 	"adaptivefl/internal/persist"
 	"adaptivefl/internal/prune"
+	"adaptivefl/internal/wire"
 )
 
 func testModelCfg() models.Config {
@@ -200,6 +201,128 @@ func TestHTTPTrainerErrors(t *testing.T) {
 	tr := NewHTTPTrainer([]string{"http://127.0.0.1:1"}, pool, quickTrain())
 	if _, err := tr.TrainDispatch(5, pool.Largest(), nil, 1); err == nil {
 		t.Fatal("missing URL accepted")
+	}
+}
+
+// TestFederatedOverHTTPWithCodecMatchesLocal: with a lossy codec on both
+// paths, the network stack and the in-process codec round-trip
+// (core.Config.Codec) must produce bitwise-identical global models — the
+// whole point of threading the codec through the simulation path.
+func TestFederatedOverHTTPWithCodecMatchesLocal(t *testing.T) {
+	mcfg := testModelCfg()
+	pcfg := prune.Config{P: 3}
+	for _, codec := range []wire.Codec{wire.Q8{}, wire.NewDeltaTopK()} {
+		t.Run(codec.Tag(), func(t *testing.T) {
+			clients := buildClients(t, 5)
+			for _, c := range clients {
+				c.Device.Jitter = 0
+			}
+			run := func(trainer core.Trainer, inProcessCodec wire.Codec) map[string]float64 {
+				srv, err := core.NewServer(core.Config{
+					Model: mcfg, Pool: pcfg, ClientsPerRound: 3,
+					Train: quickTrain(), Seed: 63,
+					Trainer: trainer, Codec: inProcessCodec,
+				}, clients)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := srv.Run(2, nil); err != nil {
+					t.Fatal(err)
+				}
+				sums := map[string]float64{}
+				for name, v := range srv.Global() {
+					sums[name] = v.Sum()
+				}
+				// The ledger must carry real encoded sizes on every round.
+				for _, st := range srv.Stats() {
+					if st.SentBytes == 0 {
+						t.Fatalf("round %d recorded no sent bytes", st.Round)
+					}
+				}
+				return sums
+			}
+
+			local := run(nil, codec)
+
+			urls := make([]string, len(clients))
+			for i, c := range clients {
+				agent, err := NewAgent(c, mcfg, pcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := httptest.NewServer(agent)
+				defer ts.Close()
+				urls[i] = ts.URL
+			}
+			pool, err := prune.BuildPool(mcfg, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainer := NewHTTPTrainer(urls, pool, quickTrain())
+			trainer.Codec = codec
+			remote := run(trainer, nil)
+
+			for name, v := range local {
+				if remote[name] != v {
+					t.Fatalf("parameter %q differs between codec-local and codec-HTTP runs", name)
+				}
+			}
+		})
+	}
+}
+
+// TestNegotiate: the server picks the first preferred codec each agent
+// supports and falls back to the default for agents that support none.
+func TestNegotiate(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 2)
+	urls := make([]string, 2)
+	for i, accept := range [][]string{{wire.TagRaw, wire.TagQ8}, {wire.TagRaw}} {
+		agent, err := NewAgent(clients[i], mcfg, prune.Config{P: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Codecs = accept
+		ts := httptest.NewServer(agent)
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewHTTPTrainer(urls, pool, quickTrain())
+	tr.Negotiate(wire.NewDeltaTopK(), wire.Q8{})
+	if got := tr.codecFor(0).Tag(); got != wire.TagQ8 {
+		t.Fatalf("client 0 negotiated %q, want q8 (delta unsupported there)", got)
+	}
+	if got := tr.codecFor(1).Tag(); got != wire.TagRaw {
+		t.Fatalf("client 1 negotiated %q, want the raw fallback", got)
+	}
+}
+
+// TestAgentRejectsUnsupportedCodec: a dispatch tagged with a codec outside
+// the agent's accept list must fail loudly.
+func TestAgentRejectsUnsupportedCodec(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 1)
+	agent, err := NewAgent(clients[0], mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Codecs = []string{wire.TagRaw}
+	global := buildGlobal(t, mcfg)
+	l1 := agent.Pool.Largest()
+	st, err := agent.Pool.ExtractState(global, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := wire.Q8{}.Encode(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(TrainRequest{SentIndex: l1.Index, Codec: wire.TagQ8, State: enc, Train: quickTrain(), Seed: 9}); err == nil {
+		t.Fatal("unsupported codec accepted")
 	}
 }
 

@@ -59,15 +59,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		cols = c.cols
 		c.in = x
 	} else {
-		cols = tensor.New(rows, total)
+		// Eval-mode forwards don't keep the column matrix for a backward
+		// pass, so draw it from the size-keyed scratch pool shared across
+		// all conv layers instead of allocating per call.
+		cols = tensor.GetScratch(rows, total)
 		c.in, c.cols = nil, nil
 	}
 	tensor.Im2ColBatch(x, c.K, c.K, c.Stride, c.Pad, cols)
 
 	// One GEMM for the whole batch: [OutC, rows] x [rows, N*spatial].
 	wm := c.weight.Val.Reshape(c.OutC, rows)
-	ybuf := tensor.New(c.OutC, total)
+	ybuf := tensor.GetScratch(c.OutC, total)
 	tensor.Gemm(false, false, 1, wm, cols, 0, ybuf)
+	if !train {
+		tensor.PutScratch(cols)
+	}
 
 	// Scatter [OutC, N*spatial] back to [N, OutC, OH, OW], adding bias.
 	out := tensor.New(n, c.OutC, c.oh, c.ow)
@@ -89,6 +95,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
+	tensor.PutScratch(ybuf)
 	return out
 }
 

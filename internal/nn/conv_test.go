@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"adaptivefl/internal/tensor"
@@ -179,6 +180,42 @@ func TestConvEvalReleasesCache(t *testing.T) {
 	dw.Forward(x, false)
 	if dw.in != nil {
 		t.Fatal("eval forward must release the depthwise cache")
+	}
+}
+
+// TestConvEvalScratchReuse: repeated eval-mode forwards must not grow a
+// fresh column matrix per call — the size-keyed scratch pool hands the
+// same slab back, so steady-state inference allocates only the output.
+func TestConvEvalScratchReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates per-call heap bytes past the threshold")
+	}
+	rng := rand.New(rand.NewSource(46))
+	conv := NewConv2D(rng, "c", 4, 8, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 2, 4, 8, 8)
+	want := conv.Forward(x, false)
+	// Warm the pool, then measure steady-state allocated bytes. The column
+	// matrix (4·3·3 × 2·8·8 = 4608 floats ≈ 37 KB) dwarfs the 8 KB output
+	// tensor, so reuse shows up as a large drop in bytes per call.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const calls = 50
+	for i := 0; i < calls; i++ {
+		conv.Forward(x, false)
+	}
+	runtime.ReadMemStats(&m1)
+	perCall := (m1.TotalAlloc - m0.TotalAlloc) / calls
+	// The output tensor plus headers is ~9 KB; without the pool the column
+	// matrix and GEMM buffer add another ~38 KB every call.
+	if perCall > 20000 {
+		t.Fatalf("eval forward allocates %d bytes per call; scratch pool not engaged", perCall)
+	}
+	got := conv.Forward(x, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("scratch reuse changed the forward result")
+		}
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation inflates heap accounting and invalidates allocation
+// thresholds.
+const raceEnabled = true

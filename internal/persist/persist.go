@@ -17,16 +17,28 @@ import (
 	"adaptivefl/internal/tensor"
 )
 
-// formatVersion guards against reading checkpoints written by an
-// incompatible release.
-const formatVersion = 1
+// Envelope versions. Version 1 carries a float64 state dict inline;
+// version 2 carries an opaque codec-encoded payload plus the codec's tag,
+// so non-float64 encodings (float32, int8, sparse deltas — see
+// internal/wire) travel in the same container without breaking v1 readers:
+// a v1-only reader decodes the version field and reports a clear error.
+const (
+	formatVersion   = 1
+	formatVersionV2 = 2
+)
 
-// envelope is the on-disk/wire representation of a state dict.
+// envelope is the on-disk/wire representation of a state dict. V1 fills
+// Names/Shapes/Data; v2 fills Codec/Payload. Gob ignores absent fields, so
+// one struct reads both versions.
 type envelope struct {
 	Version int
 	Names   []string
 	Shapes  [][]int
 	Data    [][]float64
+	// Codec and Payload are the v2 fields: Payload holds the state dict
+	// encoded by the wire codec registered under the Codec tag.
+	Codec   string
+	Payload []byte
 }
 
 // EncodeState writes a state dict to w (gzip-compressed gob). Entries are
@@ -46,20 +58,76 @@ func EncodeState(w io.Writer, st nn.State) error {
 	return zw.Close()
 }
 
-// DecodeState reads a state dict written by EncodeState.
-func DecodeState(r io.Reader) (nn.State, error) {
+// EncodeStateV2 writes a v2 envelope wrapping an opaque codec payload.
+// The caller (internal/wire) is responsible for codecTag naming a codec
+// that can decode payload.
+func EncodeStateV2(w io.Writer, codecTag string, payload []byte) error {
+	env := envelope{Version: formatVersionV2, Codec: codecTag, Payload: payload}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(env); err != nil {
+		return fmt.Errorf("persist: encode v2: %w", err)
+	}
+	return zw.Close()
+}
+
+// readEnvelope decompresses and gob-decodes either envelope version.
+func readEnvelope(r io.Reader) (envelope, error) {
+	var env envelope
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("persist: gzip: %w", err)
+		return env, fmt.Errorf("persist: gzip: %w", err)
 	}
 	defer zr.Close()
-	var env envelope
 	if err := gob.NewDecoder(zr).Decode(&env); err != nil {
-		return nil, fmt.Errorf("persist: decode: %w", err)
+		return env, fmt.Errorf("persist: decode: %w", err)
+	}
+	return env, nil
+}
+
+// DecodeStateAny reads either envelope version: v1 decodes inline, while a
+// v2 envelope's payload is handed to decodePayload with the stored codec
+// tag. internal/wire passes its codec registry here; persist itself stays
+// codec-agnostic so the dependency points wire → persist only.
+func DecodeStateAny(r io.Reader, decodePayload func(tag string, payload []byte) (nn.State, error)) (nn.State, error) {
+	env, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	switch env.Version {
+	case formatVersion:
+		return decodeV1(env)
+	case formatVersionV2:
+		if decodePayload == nil {
+			return nil, fmt.Errorf("persist: v2 envelope (codec %q) needs a payload decoder — use internal/wire", env.Codec)
+		}
+		st, err := decodePayload(env.Codec, env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("persist: decode v2 payload (codec %q): %w", env.Codec, err)
+		}
+		return st, nil
+	}
+	return nil, fmt.Errorf("persist: version %d not supported (want %d or %d)", env.Version, formatVersion, formatVersionV2)
+}
+
+// DecodeState reads a state dict written by EncodeState. It only accepts
+// v1 envelopes; v2 checkpoints must be loaded through internal/wire, which
+// knows how to decode codec payloads.
+func DecodeState(r io.Reader) (nn.State, error) {
+	env, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if env.Version == formatVersionV2 {
+		return nil, fmt.Errorf("persist: v2 envelope (codec %q) — decode via internal/wire", env.Codec)
 	}
 	if env.Version != formatVersion {
 		return nil, fmt.Errorf("persist: version %d not supported (want %d)", env.Version, formatVersion)
 	}
+	return decodeV1(env)
+}
+
+// decodeV1 validates and materialises an inline float64 envelope.
+func decodeV1(env envelope) (nn.State, error) {
 	if len(env.Names) != len(env.Shapes) || len(env.Names) != len(env.Data) {
 		return nil, fmt.Errorf("persist: corrupt envelope (%d names, %d shapes, %d tensors)",
 			len(env.Names), len(env.Shapes), len(env.Data))

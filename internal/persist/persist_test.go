@@ -123,6 +123,48 @@ func TestFullModelCheckpoint(t *testing.T) {
 	}
 }
 
+// TestV2EnvelopeRoundTrip covers the persist half of the v2 format: the
+// opaque payload and codec tag survive the container, v1-only DecodeState
+// rejects v2 bytes with a pointer at internal/wire, and DecodeStateAny
+// still reads v1 inline without a payload decoder.
+func TestV2EnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("opaque codec bytes \x00\x01\x02")
+	var buf bytes.Buffer
+	if err := EncodeStateV2(&buf, "q8", payload); err != nil {
+		t.Fatal(err)
+	}
+	gotTag, gotPayload := "", []byte(nil)
+	st, err := DecodeStateAny(bytes.NewReader(buf.Bytes()), func(tag string, p []byte) (nn.State, error) {
+		gotTag, gotPayload = tag, p
+		return nn.State{}, nil
+	})
+	if err != nil || st == nil {
+		t.Fatalf("DecodeStateAny: %v", err)
+	}
+	if gotTag != "q8" || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload round trip: tag %q, %d bytes", gotTag, len(gotPayload))
+	}
+	if _, err := DecodeState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("v1-only DecodeState accepted a v2 envelope")
+	}
+	if _, err := DecodeStateAny(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Fatal("DecodeStateAny without a decoder accepted a v2 envelope")
+	}
+	// v1 bytes still decode through DecodeStateAny with no decoder.
+	want := sampleState(9)
+	v1, err := EncodeToBytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStateAny(bytes.NewReader(v1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(want, got) {
+		t.Fatal("v1 state changed through DecodeStateAny")
+	}
+}
+
 func TestDecodeRejectsBadShapes(t *testing.T) {
 	// Hand-craft an envelope with a mismatched element count.
 	var buf bytes.Buffer

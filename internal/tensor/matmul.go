@@ -69,6 +69,11 @@ const (
 	nTile = 1024
 )
 
+// minJChunk is the narrowest j-span worth handing to a worker when the
+// grid splits columns: wide enough to amortise task dispatch and keep
+// axpy passes on long contiguous runs.
+const minJChunk = 256
+
 // MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
 func MatMul(a, b *Tensor) *Tensor {
 	c := New(a.Shape[0], b.Shape[1])
@@ -116,54 +121,84 @@ func Gemm(transA, transB bool, alpha float64, a, b *Tensor, beta float64, c *Ten
 	}
 
 	workers := Parallelism()
-	if 2*m*n*k < serialThreshold || workers <= 1 || m == 1 {
-		gemmRows(transA, transB, alpha, a, b, c, 0, m, k, n)
+	if 2*m*n*k < serialThreshold || workers <= 1 {
+		gemmBlock(transA, transB, alpha, a, b, c, 0, m, 0, n, k)
 		return
 	}
-	if workers > m {
-		workers = m
+
+	// Partition C into a rows × cols grid of chunks. Row splitting alone
+	// starves the pool on the skinny-m/huge-n GEMMs batched conv produces
+	// (a VGG block's forward is [OutC, InC·K²] × [InC·K², N·OH·OW] with
+	// OutC as small as 8), so leftover workers split the j dimension too.
+	// Every C element's accumulation order over k is fixed by the matrix
+	// shapes alone — never by the chunk a worker owns — so the result
+	// stays bitwise identical to the serial kernel for any grid.
+	rows := workers
+	if rows > m {
+		rows = m
 	}
-	chunk := (m + workers - 1) / workers
+	cols := 1
+	if rows < workers && n >= 2*minJChunk {
+		cols = (workers + rows - 1) / rows
+		if maxCols := n / minJChunk; cols > maxCols {
+			cols = maxCols
+		}
+	}
+	rowChunk := (m + rows - 1) / rows
+	// Round the j chunk up to a multiple of 8 (one 64-byte cache line of
+	// C) so adjacent workers do not false-share row segments.
+	jChunk := (n + cols - 1) / cols
+	jChunk = (jChunk + 7) &^ 7
+
 	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
+	for lo := 0; lo < m; lo += rowChunk {
+		hi := lo + rowChunk
 		if hi > m {
 			hi = m
 		}
-		if hi == m {
-			// Run the final chunk on the calling goroutine: the caller
-			// would otherwise idle in Wait while its work sits queued
-			// behind other callers' chunks.
-			gemmRows(transA, transB, alpha, a, b, c, lo, hi, k, n)
-			break
-		}
-		wg.Add(1)
-		task := func(lo, hi int) func() {
-			return func() {
-				defer wg.Done()
-				gemmRows(transA, transB, alpha, a, b, c, lo, hi, k, n)
+		for jLo := 0; jLo < n; jLo += jChunk {
+			jHi := jLo + jChunk
+			if jHi > n {
+				jHi = n
 			}
-		}(lo, hi)
-		if !trySubmit(task) {
-			task()
+			if hi == m && jHi == n {
+				// Run the final chunk on the calling goroutine: the caller
+				// would otherwise idle in Wait while its work sits queued
+				// behind other callers' chunks.
+				gemmBlock(transA, transB, alpha, a, b, c, lo, hi, jLo, jHi, k)
+				break
+			}
+			wg.Add(1)
+			task := func(lo, hi, jLo, jHi int) func() {
+				return func() {
+					defer wg.Done()
+					gemmBlock(transA, transB, alpha, a, b, c, lo, hi, jLo, jHi, k)
+				}
+			}(lo, hi, jLo, jHi)
+			if !trySubmit(task) {
+				task()
+			}
 		}
 	}
 	wg.Wait()
 }
 
-// gemmRows accumulates rows [lo,hi) of C with the blocked kernel. The loop
-// order keeps the innermost access contiguous whenever the operand layout
-// permits, and the per-element accumulation order depends only on the
-// matrix shapes, never on [lo,hi).
-func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n int) {
+// gemmBlock accumulates the C block rows [lo,hi) × columns [jLo,jHi)
+// with the blocked kernel. The loop order keeps the innermost access
+// contiguous whenever the operand layout permits, and the per-element
+// accumulation order — always a fixed 2-wise grouping over k — depends
+// only on the matrix shapes, never on the block bounds, so any grid
+// partition of C reproduces the serial result bitwise.
+func gemmBlock(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, jLo, jHi, k int) {
+	n := c.Shape[1]
 	ad, bd, cd := a.Data, b.Data, c.Data
 	switch {
 	case !transA && !transB:
 		// C[i,j] += alpha * A[i,p] * B[p,j], tiled j-then-k, k unrolled 4x.
-		for j0 := 0; j0 < n; j0 += nTile {
+		for j0 := jLo; j0 < jHi; j0 += nTile {
 			j1 := j0 + nTile
-			if j1 > n {
-				j1 = n
+			if j1 > jHi {
+				j1 = jHi
 			}
 			for p0 := 0; p0 < k; p0 += kTile {
 				p1 := p0 + kTile
@@ -220,7 +255,7 @@ func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n 
 		for i := lo; i < hi; i++ {
 			ai := ad[i*k : i*k+k]
 			ci := cd[i*n : i*n+n]
-			for j := 0; j < n; j++ {
+			for j := jLo; j < jHi; j++ {
 				ci[j] += alpha * dot(ai, bd[j*k:j*k+k])
 			}
 		}
@@ -228,22 +263,23 @@ func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n 
 		// C[i,j] += alpha * A[p,i] * B[p,j], k unrolled 2x so each pass
 		// over a C row covers two B rows.
 		m := c.Shape[0]
+		nj := jHi - jLo
 		p := 0
 		for ; p+2 <= k; p += 2 {
 			ap0 := ad[p*m : p*m+m]
 			ap1 := ad[(p+1)*m : (p+1)*m+m]
-			bp0 := bd[p*n : p*n+n]
-			bp1 := bd[(p+1)*n : (p+1)*n+n]
+			bp0 := bd[p*n+jLo:][:nj]
+			bp1 := bd[(p+1)*n+jLo:][:nj]
 			for i := lo; i < hi; i++ {
-				axpy2x1(alpha*ap0[i], alpha*ap1[i], bp0, bp1, cd[i*n:i*n+n])
+				axpy2x1(alpha*ap0[i], alpha*ap1[i], bp0, bp1, cd[i*n+jLo:][:nj])
 			}
 		}
 		for ; p < k; p++ {
 			ap := ad[p*m : p*m+m]
-			bp := bd[p*n : p*n+n]
+			bp := bd[p*n+jLo:][:nj]
 			for i := lo; i < hi; i++ {
 				av := alpha * ap[i]
-				ci := cd[i*n : i*n+n]
+				ci := cd[i*n+jLo:][:nj]
 				for j := range ci {
 					ci[j] += av * bp[j]
 				}
@@ -253,7 +289,7 @@ func gemmRows(transA, transB bool, alpha float64, a, b, c *Tensor, lo, hi, k, n 
 		m := c.Shape[0]
 		for i := lo; i < hi; i++ {
 			ci := cd[i*n : i*n+n]
-			for j := 0; j < n; j++ {
+			for j := jLo; j < jHi; j++ {
 				s := 0.0
 				for p := 0; p < k; p++ {
 					s += ad[p*m+i] * bd[j*k+p]

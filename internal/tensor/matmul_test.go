@@ -35,6 +35,9 @@ func TestGemmSerialParallelBitwise(t *testing.T) {
 		{17, 31, 29},   // odd everything, below the parallel threshold
 		{33, 129, 65},  // odd everything, above the parallel threshold
 		{64, 300, 128}, // k spanning multiple panels
+		{1, 64, 2048},  // skinny m, huge n: the j-split grid carries all parallelism
+		{2, 48, 1100},  // j-split with a ragged final column chunk
+		{3, 40, 4099},  // j-split spanning multiple nTile panels, odd n
 	}
 	cases := []struct{ alpha, beta float64 }{
 		{1, 0}, {2, 3}, {0.5, 1}, {0, 2}, {-1.25, -0.5},

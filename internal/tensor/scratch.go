@@ -1,0 +1,57 @@
+package tensor
+
+import "sync"
+
+// Scratch pool.
+//
+// Conv layers unfold every batch into a column matrix whose size repeats
+// across calls (the same layer sees the same shapes each step, and layers
+// of the same width share shapes). Training caches the matrix per layer
+// for the backward pass, but eval-mode forwards would otherwise allocate
+// and drop one column matrix per layer per call. The pool below recycles
+// those slabs process-wide, keyed by element count, so inference settles
+// into zero steady-state allocation for its im2col and GEMM-output
+// buffers.
+
+var (
+	scratchMu    sync.Mutex
+	scratchPools = map[int]*sync.Pool{}
+)
+
+// GetScratch returns a tensor of the given shape backed by a recycled
+// slab when one is available. The contents are undefined — callers must
+// fully overwrite it (Im2ColBatch and beta=0 GEMMs do). Pair with
+// PutScratch when the buffer's lifetime ends.
+func GetScratch(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	scratchMu.Lock()
+	p := scratchPools[n]
+	scratchMu.Unlock()
+	if p != nil {
+		if v := p.Get(); v != nil {
+			return &Tensor{Shape: append([]int(nil), shape...), Data: *(v.(*[]float64))}
+		}
+	}
+	return New(shape...)
+}
+
+// PutScratch recycles t's backing slab for a later GetScratch of the same
+// element count. The caller must not touch t afterwards.
+func PutScratch(t *Tensor) {
+	if t == nil || len(t.Data) == 0 {
+		return
+	}
+	n := len(t.Data)
+	scratchMu.Lock()
+	p := scratchPools[n]
+	if p == nil {
+		p = &sync.Pool{}
+		scratchPools[n] = p
+	}
+	scratchMu.Unlock()
+	data := t.Data
+	p.Put(&data)
+}

@@ -1,0 +1,34 @@
+package tensor
+
+import "testing"
+
+func TestScratchReuse(t *testing.T) {
+	a := GetScratch(4, 8)
+	if a.Shape[0] != 4 || a.Shape[1] != 8 || len(a.Data) != 32 {
+		t.Fatalf("scratch shape %v len %d", a.Shape, len(a.Data))
+	}
+	a.Data[0] = 42
+	PutScratch(a)
+	b := GetScratch(8, 4) // same element count, different shape
+	if len(b.Data) != 32 || b.Shape[0] != 8 || b.Shape[1] != 4 {
+		t.Fatalf("recycled scratch shape %v len %d", b.Shape, len(b.Data))
+	}
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("scratch slab was not recycled")
+	}
+	PutScratch(b)
+	// A different size must not alias the pooled slab.
+	c := GetScratch(3, 3)
+	if len(c.Data) != 9 {
+		t.Fatalf("scratch len %d, want 9", len(c.Data))
+	}
+}
+
+func TestScratchNilAndEmpty(t *testing.T) {
+	PutScratch(nil) // must not panic
+	e := GetScratch(0, 5)
+	if len(e.Data) != 0 {
+		t.Fatalf("empty scratch has %d elements", len(e.Data))
+	}
+	PutScratch(e)
+}

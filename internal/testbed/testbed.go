@@ -73,20 +73,44 @@ func (s *Sim) TrainTime(class core.DeviceClass, macsPerSample int64, samples, ep
 }
 
 // TransferTime returns the seconds to move a model of the given parameter
-// count down and the returned model back up.
+// count down and the returned model back up, using the BytesPerParam
+// estimate. When the round ledger carries real encoded sizes (a wire
+// codec was active), RoundTime uses TransferTimeBytes instead.
 func (s *Sim) TransferTime(class core.DeviceClass, downParams, upParams int64) float64 {
+	return s.TransferTimeBytes(class, int64(float64(downParams)*s.BytesPerParam), int64(float64(upParams)*s.BytesPerParam))
+}
+
+// TransferTimeBytes returns the seconds to move downBytes to the device
+// and upBytes back.
+func (s *Sim) TransferTimeBytes(class core.DeviceClass, downBytes, upBytes int64) float64 {
 	sp := s.specs[class]
-	return (float64(downParams) + float64(upParams)) * s.BytesPerParam / sp.Bandwidth
+	return float64(downBytes+upBytes) / sp.Bandwidth
 }
 
 // RoundTime computes one synchronous round's wall-clock: the slowest
 // selected client's transfer + training time. classOf maps client id to
-// device class; samplesOf to local dataset size.
+// device class; samplesOf to local dataset size. Dispatches that carry
+// real encoded byte counts (core.Config.Codec or an HTTP trainer was in
+// play) are charged those bytes; otherwise the BytesPerParam × params
+// estimate applies.
 func (s *Sim) RoundTime(stats core.RoundStats, classOf func(int) core.DeviceClass, samplesOf func(int) int, epochs int) float64 {
 	worst := 0.0
 	for _, d := range stats.Dispatches {
 		class := classOf(d.Client)
-		t := s.TransferTime(class, d.Sent.Size, d.Got.Size)
+		var t float64
+		if d.SentBytes > 0 {
+			up := d.GotBytes
+			if d.Failed {
+				// The estimate path charges a failed dispatch the full
+				// round trip (d.Got = d.Sent there); mirror that here so
+				// codec-vs-estimate timing comparisons are not skewed by
+				// different failure accounting.
+				up = d.SentBytes
+			}
+			t = s.TransferTimeBytes(class, d.SentBytes, up)
+		} else {
+			t = s.TransferTime(class, d.Sent.Size, d.Got.Size)
+		}
 		if !d.Failed {
 			t += s.TrainTime(class, d.Got.MACs, samplesOf(d.Client), epochs)
 		}

@@ -107,6 +107,42 @@ func TestFailedDispatchStillCostsTransfer(t *testing.T) {
 	}
 }
 
+// TestRoundTimeUsesEncodedBytes: dispatches carrying real wire sizes are
+// charged those bytes, not the BytesPerParam estimate — a quantized round
+// must beat the raw estimate on the same submodels.
+func TestRoundTimeUsesEncodedBytes(t *testing.T) {
+	sim, err := NewSim(Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large := prune.Submodel{Size: 1e6, MACs: 1e7}
+	classOf := func(int) core.DeviceClass { return core.Weak }
+	samplesOf := func(int) int { return 10 }
+	est := core.RoundStats{Dispatches: []core.Dispatch{{Client: 0, Sent: large, Got: large}}}
+	// A q8-style encoding: ~1 byte per param both ways instead of 4.
+	coded := core.RoundStats{Dispatches: []core.Dispatch{
+		{Client: 0, Sent: large, Got: large, SentBytes: 1e6, GotBytes: 1e6},
+	}}
+	tEst := sim.RoundTime(est, classOf, samplesOf, 1)
+	tCoded := sim.RoundTime(coded, classOf, samplesOf, 1)
+	if tCoded >= tEst {
+		t.Fatalf("encoded-bytes round %v should beat estimate %v", tCoded, tEst)
+	}
+	train := sim.TrainTime(core.Weak, large.MACs, 10, 1)
+	if want := sim.TransferTimeBytes(core.Weak, 1e6, 1e6) + train; tCoded != want {
+		t.Fatalf("coded round = %v, want %v", tCoded, want)
+	}
+	// Failure accounting must match the estimate path: a failed dispatch
+	// is charged the full round trip there (Got = Sent), so the bytes
+	// path charges the downlink size both ways.
+	failed := core.RoundStats{Dispatches: []core.Dispatch{
+		{Client: 0, Sent: large, Got: large, Failed: true, SentBytes: 1e6},
+	}}
+	if got, want := sim.RoundTime(failed, classOf, samplesOf, 1), sim.TransferTimeBytes(core.Weak, 1e6, 1e6); got != want {
+		t.Fatalf("failed coded dispatch = %v, want full round trip %v", got, want)
+	}
+}
+
 func TestClockAdvance(t *testing.T) {
 	sim, err := NewSim(Table5Platform())
 	if err != nil {

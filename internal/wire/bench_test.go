@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCodecs enumerates the registered codecs with a ready reference for
+// the delta codec.
+func benchCodecs() []Codec {
+	return []Codec{Raw{}, F32{}, Q8{}, NewDeltaTopK()}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	ref := randState(100)
+	st := perturb(ref, 101, 0.01)
+	for _, c := range benchCodecs() {
+		b.Run(c.Tag(), func(b *testing.B) {
+			enc, err := c.Encode(st, ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(st, ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	ref := randState(102)
+	st := perturb(ref, 103, 0.01)
+	for _, c := range benchCodecs() {
+		b.Run(c.Tag(), func(b *testing.B) {
+			enc, err := c.Encode(st, ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(enc, ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodedSize is not a timing benchmark: it reports bytes per
+// codec for one state so `go test -bench EncodedSize` doubles as a size
+// table.
+func BenchmarkEncodedSize(b *testing.B) {
+	ref := randState(104)
+	st := perturb(ref, 105, 0.01)
+	for _, c := range benchCodecs() {
+		b.Run(c.Tag(), func(b *testing.B) {
+			enc, err := c.Encode(st, ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(enc)), "bytes")
+			b.ReportMetric(0, "ns/op")
+			_ = fmt.Sprintf("%d", len(enc))
+		})
+	}
+}

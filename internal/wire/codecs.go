@@ -1,0 +1,397 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/persist"
+	"adaptivefl/internal/tensor"
+)
+
+// Raw is the compatibility baseline: the persist v1 gzip/gob float64
+// envelope, bit-exact. Peers that predate codec negotiation speak exactly
+// this format.
+type Raw struct{}
+
+// Tag implements Codec.
+func (Raw) Tag() string { return TagRaw }
+
+// UsesRef implements Codec.
+func (Raw) UsesRef() bool { return false }
+
+// Encode implements Codec.
+func (Raw) Encode(st, _ nn.State) ([]byte, error) { return persist.EncodeToBytes(st) }
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte, _ nn.State) (nn.State, error) { return persist.DecodeFromBytes(data) }
+
+// F32 truncates every value to float32. Error per value is half a
+// float32 ulp: |err| ≤ |v|·2⁻²⁴.
+type F32 struct{}
+
+// f32Payload is F32's wire form.
+type f32Payload struct {
+	Head header
+	Data [][]float32
+}
+
+// Tag implements Codec.
+func (F32) Tag() string { return TagF32 }
+
+// UsesRef implements Codec.
+func (F32) UsesRef() bool { return false }
+
+// Encode implements Codec.
+func (F32) Encode(st, _ nn.State) ([]byte, error) {
+	head, ts := makeHeader(st)
+	p := f32Payload{Head: head, Data: make([][]float32, len(ts))}
+	for i, t := range ts {
+		row := make([]float32, len(t.Data))
+		for j, v := range t.Data {
+			row[j] = float32(v)
+		}
+		p.Data[i] = row
+	}
+	return gobGzip(p)
+}
+
+// Decode implements Codec.
+func (F32) Decode(data []byte, _ nn.State) (nn.State, error) {
+	var p f32Payload
+	if err := unGobGzip(data, &p); err != nil {
+		return nil, err
+	}
+	counts, err := p.Head.validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Data) != len(counts) {
+		return nil, fmt.Errorf("wire: f32 payload has %d tensors for %d names", len(p.Data), len(counts))
+	}
+	st := make(nn.State, len(counts))
+	for i, name := range p.Head.Names {
+		if len(p.Data[i]) != counts[i] {
+			return nil, fmt.Errorf("wire: f32 %q has %d values for shape %v", name, len(p.Data[i]), p.Head.Shapes[i])
+		}
+		vals := make([]float64, counts[i])
+		for j, v := range p.Data[i] {
+			vals[j] = float64(v)
+		}
+		st[name] = tensor.FromSlice(vals, p.Head.Shapes[i]...)
+	}
+	return st, nil
+}
+
+// Q8 applies per-tensor symmetric int8 quantization: each tensor stores
+// one float64 scale (max|v|/127) and one byte per value. Error per value
+// is half a quantization step: |err| ≤ max|v|/254 over the tensor.
+type Q8 struct{}
+
+// q8Payload is Q8's wire form. Data stores the signed level biased by
+// +128 so gob serialises it as raw bytes (one byte per value) instead of
+// per-element varints.
+type q8Payload struct {
+	Head   header
+	Scales []float64
+	Data   [][]byte
+}
+
+// Tag implements Codec.
+func (Q8) Tag() string { return TagQ8 }
+
+// UsesRef implements Codec.
+func (Q8) UsesRef() bool { return false }
+
+// Encode implements Codec.
+func (Q8) Encode(st, _ nn.State) ([]byte, error) {
+	head, ts := makeHeader(st)
+	p := q8Payload{Head: head, Scales: make([]float64, len(ts)), Data: make([][]byte, len(ts))}
+	for i, t := range ts {
+		maxAbs := 0.0
+		for j, v := range t.Data {
+			// Inf makes the scale infinite (the decoder rejects it as
+			// corruption) and NaN slips past the max (NaN compares false)
+			// into an unspecified int conversion — reject both here, where
+			// the error can name the diverged tensor.
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("wire: q8 %q: non-finite value at index %d (diverged state?)", head.Names[i], j)
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		p.Scales[i] = scale
+		row := make([]byte, len(t.Data))
+		if scale > 0 {
+			for j, v := range t.Data {
+				q := math.Round(v / scale)
+				if q > 127 {
+					q = 127
+				} else if q < -127 {
+					q = -127
+				}
+				row[j] = byte(int(q) + 128)
+			}
+		} else {
+			for j := range row {
+				row[j] = 128
+			}
+		}
+		p.Data[i] = row
+	}
+	return gobGzip(p)
+}
+
+// Decode implements Codec.
+func (Q8) Decode(data []byte, _ nn.State) (nn.State, error) {
+	var p q8Payload
+	if err := unGobGzip(data, &p); err != nil {
+		return nil, err
+	}
+	counts, err := p.Head.validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Data) != len(counts) || len(p.Scales) != len(counts) {
+		return nil, fmt.Errorf("wire: q8 payload has %d tensors, %d scales for %d names", len(p.Data), len(p.Scales), len(counts))
+	}
+	st := make(nn.State, len(counts))
+	for i, name := range p.Head.Names {
+		if len(p.Data[i]) != counts[i] {
+			return nil, fmt.Errorf("wire: q8 %q has %d values for shape %v", name, len(p.Data[i]), p.Head.Shapes[i])
+		}
+		scale := p.Scales[i]
+		// Encode never produces a negative or non-finite scale, so either
+		// is wire corruption — and a NaN scale would otherwise decode the
+		// whole tensor to NaN with no diagnostic.
+		if scale < 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+			return nil, fmt.Errorf("wire: q8 %q has corrupt scale %v", name, scale)
+		}
+		vals := make([]float64, counts[i])
+		for j, b := range p.Data[i] {
+			vals[j] = float64(int(b)-128) * scale
+		}
+		st[name] = tensor.FromSlice(vals, p.Head.Shapes[i]...)
+	}
+	return st, nil
+}
+
+// DeltaTopK encodes the k largest-magnitude changes of each tensor versus
+// the reference state, as (index, float32 value) pairs; the remaining
+// coordinates decode to the reference value exactly. Kept coordinates are
+// exact to float32 rounding of the delta. When a tensor has no usable
+// reference — or keeping Density of it would not beat dense float32 — the
+// tensor falls back to dense float32 values (so a nil ref degrades to F32,
+// never to zeroed weights).
+//
+// References are matched width-wise: an uploaded tensor pruned below the
+// dispatched shape diffs against the same prefix block that seeded it.
+type DeltaTopK struct {
+	// Density is the kept fraction per tensor, in (0,1].
+	Density float64
+	// DenseCutoff switches a tensor to dense float32 when the kept
+	// fraction reaches it; index+value pairs cost ~2× a dense value, so
+	// sparsity above ~0.5 loses money.
+	DenseCutoff float64
+}
+
+// NewDeltaTopK returns the registered default: keep the top 10% of each
+// tensor's delta, falling back to dense beyond 50% density.
+func NewDeltaTopK() DeltaTopK { return DeltaTopK{Density: 0.10, DenseCutoff: 0.5} }
+
+// kthLargest returns the k-th largest value of a (1 ≤ k ≤ len(a)) by
+// iterative quickselect, mutating a (the caller passes scratch). The
+// selected *value* is unique for given inputs, so the encoding stays
+// deterministic even though the partition order is not. O(n) expected —
+// a full sort here would dominate the encode of large tensors.
+func kthLargest(a []float64, k int) float64 {
+	target := len(a) - k // index in ascending order
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three pivot guards the sorted/reversed worst cases.
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			return a[target]
+		}
+	}
+	return a[target]
+}
+
+// deltaPayload is DeltaTopK's wire form. Per tensor, IsDense selects
+// between Dense[i] (dense float32 values) and Index[i]/Value[i] (the
+// sparse delta). An explicit flag is used because gob cannot distinguish
+// a nil slice from an empty one.
+type deltaPayload struct {
+	Head    header
+	IsDense []bool
+	Dense   [][]float32
+	Index   [][]uint32
+	Value   [][]float32
+}
+
+// Tag implements Codec.
+func (DeltaTopK) Tag() string { return TagDelta }
+
+// UsesRef implements Codec.
+func (DeltaTopK) UsesRef() bool { return true }
+
+// Encode implements Codec.
+func (d DeltaTopK) Encode(st, ref nn.State) ([]byte, error) {
+	density := d.Density
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("wire: delta density %v outside (0,1]", density)
+	}
+	cutoff := d.DenseCutoff
+	if cutoff <= 0 {
+		cutoff = 0.5
+	}
+	head, ts := makeHeader(st)
+	p := deltaPayload{
+		Head:    head,
+		IsDense: make([]bool, len(ts)),
+		Dense:   make([][]float32, len(ts)),
+		Index:   make([][]uint32, len(ts)),
+		Value:   make([][]float32, len(ts)),
+	}
+	for i, t := range ts {
+		base := refBlock(ref, head.Names[i], t.Shape)
+		n := len(t.Data)
+		k := int(math.Ceil(density * float64(n)))
+		if n == 0 || base == nil || float64(k) >= cutoff*float64(n) {
+			row := make([]float32, n)
+			for j, v := range t.Data {
+				row[j] = float32(v)
+			}
+			p.IsDense[i] = true
+			p.Dense[i] = row
+			continue
+		}
+		delta := make([]float64, n)
+		mags := make([]float64, n)
+		for j, v := range t.Data {
+			d := v - base.Data[j]
+			// NaN magnitudes poison the threshold sort (every comparison
+			// is false), silently dropping valid deltas — reject here.
+			if math.IsNaN(d) {
+				return nil, fmt.Errorf("wire: delta %q: NaN delta at index %d (diverged state?)", head.Names[i], j)
+			}
+			delta[j] = d
+			mags[j] = math.Abs(d)
+		}
+		thresh := kthLargest(mags, k)
+		idx := make([]uint32, 0, k)
+		val := make([]float32, 0, k)
+		// Keep everything strictly above the k-th magnitude first (there
+		// are at most k-1 such entries), then fill the remaining slots
+		// with threshold ties in index order — a single >=-scan capped at
+		// k could exhaust the budget on early ties and drop strictly
+		// larger deltas later in the tensor.
+		for j := 0; j < n; j++ {
+			if math.Abs(delta[j]) > thresh {
+				idx = append(idx, uint32(j))
+				val = append(val, float32(delta[j]))
+			}
+		}
+		for j := 0; j < n && len(idx) < k; j++ {
+			if math.Abs(delta[j]) == thresh {
+				idx = append(idx, uint32(j))
+				val = append(val, float32(delta[j]))
+			}
+		}
+		for j, v := range val {
+			// Inf here is either an infinite delta or a float32 overflow
+			// of a huge finite one; the decoder rejects both, so fail at
+			// the source with a clearer error.
+			if math.IsInf(float64(v), 0) {
+				return nil, fmt.Errorf("wire: delta %q: delta at index %d overflows float32 (diverged state?)", head.Names[i], idx[j])
+			}
+		}
+		p.Index[i] = idx
+		p.Value[i] = val
+	}
+	return gobGzip(p)
+}
+
+// Decode implements Codec.
+func (d DeltaTopK) Decode(data []byte, ref nn.State) (nn.State, error) {
+	var p deltaPayload
+	if err := unGobGzip(data, &p); err != nil {
+		return nil, err
+	}
+	counts, err := p.Head.validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.IsDense) != len(counts) || len(p.Dense) != len(counts) || len(p.Index) != len(counts) || len(p.Value) != len(counts) {
+		return nil, fmt.Errorf("wire: delta payload tensor counts do not match %d names", len(counts))
+	}
+	st := make(nn.State, len(counts))
+	for i, name := range p.Head.Names {
+		shape := p.Head.Shapes[i]
+		if p.IsDense[i] {
+			if len(p.Dense[i]) != counts[i] {
+				return nil, fmt.Errorf("wire: delta %q has %d dense values for shape %v", name, len(p.Dense[i]), shape)
+			}
+			vals := make([]float64, counts[i])
+			for j, v := range p.Dense[i] {
+				vals[j] = float64(v)
+			}
+			st[name] = tensor.FromSlice(vals, shape...)
+			continue
+		}
+		base := refBlock(ref, name, shape)
+		if base == nil {
+			return nil, fmt.Errorf("wire: delta %q is sparse but the reference state has no matching tensor", name)
+		}
+		if len(p.Index[i]) != len(p.Value[i]) {
+			return nil, fmt.Errorf("wire: delta %q has %d indices for %d values", name, len(p.Index[i]), len(p.Value[i]))
+		}
+		vals := make([]float64, counts[i])
+		copy(vals, base.Data)
+		for j, idx := range p.Index[i] {
+			if int(idx) >= counts[i] {
+				return nil, fmt.Errorf("wire: delta %q index %d outside %d elements", name, idx, counts[i])
+			}
+			v := float64(p.Value[i][j])
+			// A non-finite delta (wire corruption, or a float32 overflow
+			// of a diverged upload) would poison the aggregate silently;
+			// fail with the tensor name instead.
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("wire: delta %q has non-finite value at index %d", name, idx)
+			}
+			vals[idx] = base.Data[idx] + v
+		}
+		st[name] = tensor.FromSlice(vals, shape...)
+	}
+	return st, nil
+}

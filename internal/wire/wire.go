@@ -1,0 +1,239 @@
+// Package wire compresses model state dicts for the FL transport path.
+// AdaptiveFL's Pi-class devices are uplink-bound, so the bytes a round
+// moves matter as much as the MACs it burns: a Codec turns an nn.State
+// into wire bytes and back, trading accuracy for size along a documented
+// error bound. Four codecs ship:
+//
+//   - raw   — the persist v1 gzip/gob float64 envelope, bit-exact; the
+//     compatibility baseline every peer understands.
+//   - f32   — float32 truncation; |err| ≤ |v|·2⁻²⁴ per value, ~2× smaller.
+//   - q8    — per-tensor symmetric int8 quantization with a stored scale;
+//     |err| ≤ max|v|/254 per tensor, ~8× smaller.
+//   - delta — sparse top-k of the change versus a reference state (the
+//     dispatched model), index+value encoded; kept coordinates are exact
+//     to float32 rounding, dropped coordinates keep the reference value.
+//     Falls back to dense float32 when no reference is available or the
+//     kept fraction would not pay for the index overhead.
+//
+// Codecs are registered by tag so transports can negotiate: the server
+// stamps each request with the codec tag and the device answers in kind.
+// See docs/WIRE.md for the envelope format and compatibility rules.
+package wire
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/persist"
+	"adaptivefl/internal/tensor"
+)
+
+// Codec serialises a state dict. ref, when non-nil, is the reference
+// state a delta codec diffs against — both ends of a transfer must pass
+// the same reference (the decoded dispatched state) or the decode
+// diverges. Stateless codecs ignore ref.
+type Codec interface {
+	// Tag is the codec's wire name, carried in envelopes and requests.
+	Tag() string
+	// Encode serialises st (diffed against ref when the codec uses one).
+	Encode(st, ref nn.State) ([]byte, error)
+	// Decode reconstructs a state dict from Encode's output.
+	Decode(data []byte, ref nn.State) (nn.State, error)
+	// UsesRef reports whether Decode needs the same ref Encode saw.
+	UsesRef() bool
+}
+
+// registry holds the codecs reachable by tag.
+var registry = map[string]Codec{}
+
+// Register makes a codec reachable by its tag, replacing any previous
+// registration. Packages may register custom codecs at init time.
+func Register(c Codec) { registry[c.Tag()] = c }
+
+// ByTag resolves a codec tag. The empty tag resolves to raw, the
+// compatibility baseline, so untagged (pre-codec) peers keep working.
+func ByTag(tag string) (Codec, error) {
+	if tag == "" {
+		tag = TagRaw
+	}
+	c, ok := registry[tag]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown codec %q (have %v)", tag, Tags())
+	}
+	return c, nil
+}
+
+// Tags returns the registered codec tags, sorted.
+func Tags() []string {
+	tags := make([]string, 0, len(registry))
+	for t := range registry {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// The built-in codec tags.
+const (
+	TagRaw   = "raw"
+	TagF32   = "f32"
+	TagQ8    = "q8"
+	TagDelta = "delta"
+)
+
+func init() {
+	Register(Raw{})
+	Register(F32{})
+	Register(Q8{})
+	Register(NewDeltaTopK())
+}
+
+// EncodeEnvelope wraps st in the persist container: raw emits the v1
+// format unchanged (so old readers still load it), any other codec is
+// carried in a v2 envelope stamped with its tag.
+func EncodeEnvelope(c Codec, st, ref nn.State) ([]byte, error) {
+	payload, err := c.Encode(st, ref)
+	if err != nil {
+		return nil, err
+	}
+	if c.Tag() == TagRaw {
+		return payload, nil // raw's payload is the v1 envelope itself
+	}
+	var buf bytes.Buffer
+	if err := persist.EncodeStateV2(&buf, c.Tag(), payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope reads either envelope version: v1 decodes inline, a v2
+// envelope routes its payload to the codec registered under the stored
+// tag. ref is forwarded to delta codecs; a nil ref works only because a
+// ref-less Encode falls back to dense tensors — decoding a payload with
+// sparse tensors and no ref is an error, never a silent zero baseline.
+func DecodeEnvelope(b []byte, ref nn.State) (nn.State, error) {
+	return persist.DecodeStateAny(bytes.NewReader(b), func(tag string, payload []byte) (nn.State, error) {
+		c, err := ByTag(tag)
+		if err != nil {
+			return nil, err
+		}
+		return c.Decode(payload, ref)
+	})
+}
+
+// SaveState checkpoints st at path through the codec (tmp file + rename,
+// like persist.SaveState). Raw writes a v1 checkpoint.
+func SaveState(path string, c Codec, st nn.State) error {
+	b, err := EncodeEnvelope(c, st, nil)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadState reads a checkpoint written by SaveState or persist.SaveState.
+func LoadState(path string) (nn.State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEnvelope(b, nil)
+}
+
+// header is the name/shape metadata shared by the non-raw payloads.
+type header struct {
+	Names  []string
+	Shapes [][]int
+}
+
+// makeHeader flattens st into sorted name/shape arrays.
+func makeHeader(st nn.State) (header, []*tensor.Tensor) {
+	names := st.Names()
+	h := header{Names: names, Shapes: make([][]int, len(names))}
+	ts := make([]*tensor.Tensor, len(names))
+	for i, name := range names {
+		h.Shapes[i] = st[name].Shape
+		ts[i] = st[name]
+	}
+	return h, ts
+}
+
+// validate checks a decoded header and returns the element count of each
+// tensor. Wire data is untrusted, so corruption must surface as an error.
+func (h header) validate() ([]int, error) {
+	if len(h.Names) != len(h.Shapes) {
+		return nil, fmt.Errorf("wire: corrupt header (%d names, %d shapes)", len(h.Names), len(h.Shapes))
+	}
+	if !sort.StringsAreSorted(h.Names) {
+		return nil, fmt.Errorf("wire: corrupt header (names not sorted)")
+	}
+	counts := make([]int, len(h.Names))
+	for i, shape := range h.Shapes {
+		n := 1
+		for _, d := range shape {
+			if d < 0 {
+				return nil, fmt.Errorf("wire: negative dimension in %q", h.Names[i])
+			}
+			n *= d
+		}
+		counts[i] = n
+	}
+	return counts, nil
+}
+
+// refBlock returns the prefix block of ref[name] matching shape, or nil
+// when ref has no compatible tensor. Uploads are often pruned below the
+// dispatched widths, so the reference is sliced the same way the model
+// was (width-wise prefix blocks).
+func refBlock(ref nn.State, name string, shape []int) *tensor.Tensor {
+	if ref == nil {
+		return nil
+	}
+	g, ok := ref[name]
+	if !ok {
+		return nil
+	}
+	probe := &tensor.Tensor{Shape: shape}
+	if !tensor.PrefixFits(probe, g) {
+		return nil
+	}
+	if tensor.SameShape(probe, g) {
+		return g
+	}
+	return tensor.ExtractPrefix(g, shape)
+}
+
+// gobGzip encodes v with gob and compresses the result.
+func gobGzip(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// unGobGzip reverses gobGzip into v.
+func unGobGzip(b []byte, v any) error {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("wire: gzip: %w", err)
+	}
+	defer zr.Close()
+	if err := gob.NewDecoder(zr).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
