@@ -19,6 +19,7 @@ import (
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
 )
 
@@ -34,6 +35,8 @@ func main() {
 		k       = flag.Int("k", 0, "override clients per round")
 		seed    = flag.Int64("seed", 0, "override seed")
 		codec   = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
+		schedP  = flag.String("sched", "", "aggregation policy: sync|deadline|semiasync (empty = legacy synchronous loop)")
+		trace   = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
 	)
 	flag.Parse()
 
@@ -65,6 +68,20 @@ func main() {
 		}
 		sc.Codec = *codec
 	}
+	if *schedP != "" {
+		if _, err := sched.ParsePolicy(*schedP); err != nil {
+			fatal(err)
+		}
+		// Only the AdaptiveFL server runs through the event engine; the
+		// baselines keep their own synchronous loops.
+		if !strings.HasPrefix(*alg, "AdaptiveFL") {
+			fatal(fmt.Errorf("-sched applies to AdaptiveFL variants only (got -alg %s)", *alg))
+		}
+		sc.Sched = *schedP
+		sc.Trace = *trace
+	} else if *trace != "" {
+		fatal(fmt.Errorf("-trace requires -sched"))
+	}
 
 	fed, err := exp.BuildFederation(models.Arch(*arch), *dataset, exp.Dist(*dist), exp.DefaultProportions, sc)
 	if err != nil {
@@ -86,10 +103,17 @@ func main() {
 	fmt.Printf("best full: %.2f%%  best avg: %.2f%%  (wall %v)\n",
 		exp.BestOf(curve, "full")*100, exp.BestOf(curve, "avg")*100,
 		time.Since(start).Round(time.Millisecond))
-	if a, ok := runner.(*baselines.Adaptive); ok {
-		fmt.Printf("communication waste: %.2f%%\n", a.Waste()*100)
+	adaptive, ok := runner.(*baselines.Adaptive)
+	if sa, isSched := runner.(*baselines.SchedAdaptive); isSched {
+		adaptive, ok = sa.Adaptive, true
+		last := sa.Eng.Commits()
+		fmt.Printf("simulated wall-clock (policy=%s, trace=%q): %.1fs over %d aggregations\n",
+			sc.Sched, sc.Trace, sa.SimTime(), len(last))
+	}
+	if ok {
+		fmt.Printf("communication waste: %.2f%%\n", adaptive.Waste()*100)
 		if sc.Codec != "" {
-			sent, back := core.TotalWireBytes(a.Srv.Stats())
+			sent, back := core.TotalWireBytes(adaptive.Srv.Stats())
 			fmt.Printf("wire bytes (codec=%s): %.2f MB down, %.2f MB up\n",
 				sc.Codec, float64(sent)/1e6, float64(back)/1e6)
 		}

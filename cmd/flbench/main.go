@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|all \
-//	        -scale quick|small|paper [-dataset cifar10,...] [-arch vgg16,...]
+//	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all \
+//	        -scale quick|small|paper [-dataset cifar10,...] [-arch vgg16,...] \
+//	        [-sched sync|deadline|semiasync] [-trace straggler|churn|always]
 package main
 
 import (
@@ -17,17 +18,20 @@ import (
 
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
 )
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|all")
+		expName  = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all")
 		scale    = flag.String("scale", "quick", "fidelity: quick|small|paper")
 		datasets = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
 		archs    = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
 		dists    = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
 		codec    = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
+		schedP   = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|semiasync (empty = legacy synchronous loop)")
+		trace    = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...])")
 	)
 	flag.Parse()
 
@@ -35,6 +39,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *schedP != "" {
+		if _, err := sched.ParsePolicy(*schedP); err != nil {
+			fatal(err)
+		}
+		sc.Sched = *schedP
+		fmt.Fprintf(os.Stderr, "flbench: -sched %s applies to AdaptiveFL variants only; baseline rows keep their synchronous loops\n", *schedP)
+	}
+	sc.Trace = *trace
 	if *codec != "" {
 		if _, err := wire.ByTag(*codec); err != nil {
 			fatal(err)
@@ -100,6 +112,9 @@ func main() {
 	}
 	if want("fig6") {
 		run("fig6", func() error { return exp.Figure6(w, sc) })
+	}
+	if want("sched") {
+		run("sched", func() error { return exp.TableSched(w, sc) })
 	}
 }
 

@@ -56,6 +56,10 @@ type TrainResult struct {
 	// SentBytes / GotBytes are the encoded payload sizes that crossed the
 	// wire (0 when the trainer moved raw in-memory states).
 	SentBytes, GotBytes int64
+	// CodecTag names the wire codec the dispatch moved through (empty for
+	// raw in-memory transfers). Networked trainers report the codec they
+	// actually negotiated per agent, so the ledger shows real encodings.
+	CodecTag string
 }
 
 // Trainer executes Steps 4-5 of Algorithm 1 for one dispatch: on-device
@@ -70,6 +74,16 @@ type Dispatch struct {
 	Client    int
 	Sent, Got prune.Submodel
 	Failed    bool // device could not fit any derivable pool member
+	// Late marks an upload that arrived after its round had already closed
+	// (deadline scheduling): the bytes crossed the wire but the result was
+	// not aggregated, so the dispatch counts as communication waste.
+	Late bool
+	// Dropped marks a dispatch whose client went offline before the upload
+	// completed: nothing came back at all.
+	Dropped bool
+	// Codec is the wire codec tag the dispatch moved through (empty when
+	// the trainer moved raw in-memory states).
+	Codec string
 	// SentBytes / GotBytes are real encoded payload sizes when the round
 	// moved models through a wire codec (0 otherwise). testbed.Sim
 	// prefers these over parameter-count estimates.
@@ -89,6 +103,24 @@ type RoundStats struct {
 	SentBytes, ReturnedBytes int64
 }
 
+// Add appends d to the ledger and folds it into the round totals. Failed
+// and dropped dispatches waste the full sent size; late uploads moved
+// bytes over the wire but count no returned parameters (they were not
+// aggregated, so they are waste in the paper's metric).
+func (st *RoundStats) Add(d Dispatch) {
+	st.Dispatches = append(st.Dispatches, d)
+	st.SentParams += d.Sent.Size
+	st.SentBytes += d.SentBytes
+	if d.Failed || d.Dropped {
+		return
+	}
+	st.ReturnedBytes += d.GotBytes
+	if d.Late {
+		return
+	}
+	st.ReturnedParams += d.Got.Size
+}
+
 // Server is the AdaptiveFL cloud server.
 type Server struct {
 	cfg     Config
@@ -99,6 +131,16 @@ type Server struct {
 	rng     *rand.Rand
 	round   int
 	stats   []RoundStats
+
+	// version counts aggregations applied to the global model; each
+	// in-flight dispatch anchors to the version it was cut from, which is
+	// what staleness-aware (semi-asynchronous) aggregation discounts by.
+	version int
+	// inflight holds dispatches that have been issued but not yet released
+	// (collected, dropped, or cancelled), keyed by flight ID.
+	inflight map[int64]*Flight
+	nextID   int64
+	mu       sync.Mutex
 }
 
 // NewServer validates the configuration, builds the model pool, the RL
@@ -125,12 +167,13 @@ func NewServer(cfg Config, clients []*Client) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    pool,
-		tables:  rl.NewTables(cfg.RL, pool.P, len(pool.Members), len(clients)),
-		clients: clients,
-		global:  nn.StateDict(full),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		pool:     pool,
+		tables:   rl.NewTables(cfg.RL, pool.P, len(pool.Members), len(clients)),
+		clients:  clients,
+		global:   nn.StateDict(full),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		inflight: map[int64]*Flight{},
 	}
 	return s, nil
 }
@@ -146,6 +189,9 @@ func (s *Server) Global() nn.State { return s.global }
 
 // Stats returns the per-round communication ledger.
 func (s *Server) Stats() []RoundStats { return s.stats }
+
+// Clients returns the client population (read-only use intended).
+func (s *Server) Clients() []*Client { return s.clients }
 
 // GlobalModel materialises the current global model at full width.
 func (s *Server) GlobalModel() (*models.Model, error) {
@@ -183,33 +229,71 @@ func (s *Server) SubmodelByName(name string) (*models.Model, error) {
 
 // localResult carries one slot's training outcome back to the server.
 type localResult struct {
-	slot      int
 	state     nn.State
 	samples   int
 	got       prune.Submodel
 	failed    bool
 	sentBytes int64
 	gotBytes  int64
+	codec     string
 	err       error
 }
 
-// Round executes one FL round of Algorithm 1: split (the pool is static —
-// weights are sliced per dispatch), random model selection, RL client
-// selection, parallel local training with on-device pruning, RL table
-// updates, and heterogeneous aggregation.
-func (s *Server) Round() error {
-	s.round++
-	k := s.cfg.ClientsPerRound
-	stats := RoundStats{Round: s.round}
+// Slot is one planned dispatch: the selected client, the pool member to
+// send, and the local-training seed.
+type Slot struct {
+	Client int
+	Sent   prune.Submodel
+	Seed   int64
+}
 
-	// Phase 1 — model and client selection (sequential; candidates shrink
-	// so a client trains at most one model per round).
-	type slot struct {
-		sent   prune.Submodel
-		client int
-	}
-	slots := make([]slot, k)
+// Flight is one in-flight dispatch: issued via OpenFlight, executed via
+// Execute, and finalised via Release/Record. The synchronous Round barriers
+// on a whole round of flights; the event-driven scheduler (internal/sched)
+// keeps flights open across virtual time and aggregates them out of order.
+type Flight struct {
+	ID   int64
+	Slot Slot
+	// Version is the global-model version the dispatch was cut from; the
+	// difference to the version at merge time is the update's staleness.
+	Version int
+	res     localResult
+}
+
+// Err reports the training error of an executed flight, if any.
+func (f *Flight) Err() error { return f.res.err }
+
+// Dispatch returns the ledger view of an executed flight's outcome. The
+// caller (or Record) stamps Late/Dropped according to how the flight was
+// finalised.
+func (f *Flight) Dispatch() Dispatch {
+	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: f.res.got,
+		Failed: f.res.failed, Codec: f.res.codec,
+		SentBytes: f.res.sentBytes, GotBytes: f.res.gotBytes}
+}
+
+// PlanSlots runs Algorithm 1's selection phase for up to k dispatches over
+// the clients for which eligible returns true (nil means everyone): random
+// model selection, RL client selection with shrinking candidates, and one
+// training seed per slot. It consumes the server rng in exactly the order
+// the synchronous Round always has, so an event-driven replay of the sync
+// policy is bit-identical. Fewer than k slots come back when fewer clients
+// are eligible.
+func (s *Server) PlanSlots(k int, eligible func(int) bool) []Slot {
 	candidates := s.rng.Perm(len(s.clients))
+	if eligible != nil {
+		kept := candidates[:0]
+		for _, c := range candidates {
+			if eligible(c) {
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	slots := make([]Slot, 0, k)
 	for i := 0; i < k; i++ {
 		var sent prune.Submodel
 		if s.cfg.Greedy {
@@ -217,97 +301,234 @@ func (s *Server) Round() error {
 		} else {
 			sent = s.pool.Members[s.rng.Intn(len(s.pool.Members))] // RandomSel
 		}
-		c := s.tables.SelectClient(s.rng, s.cfg.Mode, sent, s.pool, candidates)
-		// Remove c from candidates.
+		// The tolerant variant: an availability-trace scheduler can
+		// legitimately run the candidate set dry.
+		c, ok := s.tables.TrySelectClient(s.rng, s.cfg.Mode, sent, s.pool, candidates)
+		if !ok {
+			break
+		}
+		// Remove c from candidates: a client trains at most one model at a
+		// time.
 		for j, cand := range candidates {
 			if cand == c {
 				candidates = append(candidates[:j], candidates[j+1:]...)
 				break
 			}
 		}
-		slots[i] = slot{sent: sent, client: c}
+		slots = append(slots, Slot{Sent: sent, Client: c})
 	}
+	for i := range slots {
+		slots[i].Seed = s.rng.Int63()
+	}
+	return slots
+}
 
-	// Phase 2 — parallel local training. The in-process trainer encodes
-	// each distinct dispatched pool member once per round up front:
-	// stateless codecs are deterministic, so the K slots sharing a member
-	// would otherwise repeat an identical full-model encode+decode each.
-	trainer := s.cfg.Trainer
-	if trainer == nil {
-		lt := localTrainer{s: s}
-		if s.cfg.Codec != nil {
-			lt.pre = make(map[int]preDispatch)
-			for _, sl := range slots {
-				if _, ok := lt.pre[sl.sent.Index]; ok {
-					continue
-				}
-				st, err := s.pool.ExtractState(s.global, sl.sent)
-				if err != nil {
-					return fmt.Errorf("core: round %d extract %s: %w", s.round, sl.sent.Name(), err)
-				}
-				enc, err := s.cfg.Codec.Encode(st, nil)
-				if err != nil {
-					return fmt.Errorf("core: round %d encode %s: %w", s.round, sl.sent.Name(), err)
-				}
-				dec, err := s.cfg.Codec.Decode(enc, nil)
-				if err != nil {
-					return fmt.Errorf("core: round %d decode %s: %w", s.round, sl.sent.Name(), err)
-				}
-				lt.pre[sl.sent.Index] = preDispatch{bytes: int64(len(enc)), state: dec}
-			}
-		}
-		trainer = lt
+// RoundTrainer returns the Trainer that will execute the given slots: the
+// configured one if set, otherwise the in-process trainer. The in-process
+// trainer encodes each distinct dispatched pool member once up front:
+// stateless codecs are deterministic, so slots sharing a member would
+// otherwise repeat an identical full-model encode+decode each. Members
+// dispatched later (an event-driven scheduler cuts dispatches one at a
+// time) are encoded on first use and memoized the same way. The trainer
+// snapshots the current global weights, so build a fresh one after every
+// aggregation.
+func (s *Server) RoundTrainer(slots []Slot) (Trainer, error) {
+	if s.cfg.Trainer != nil {
+		return s.cfg.Trainer, nil
 	}
+	lt := localTrainer{s: s}
+	if s.cfg.Codec != nil {
+		lt.mu = &sync.Mutex{}
+		lt.pre = make(map[int]preDispatch)
+		for _, sl := range slots {
+			if _, ok := lt.pre[sl.Sent.Index]; ok {
+				continue
+			}
+			st, err := s.pool.ExtractState(s.global, sl.Sent)
+			if err != nil {
+				return nil, fmt.Errorf("extract %s: %w", sl.Sent.Name(), err)
+			}
+			enc, err := s.cfg.Codec.Encode(st, nil)
+			if err != nil {
+				return nil, fmt.Errorf("encode %s: %w", sl.Sent.Name(), err)
+			}
+			dec, err := s.cfg.Codec.Decode(enc, nil)
+			if err != nil {
+				return nil, fmt.Errorf("decode %s: %w", sl.Sent.Name(), err)
+			}
+			lt.pre[sl.Sent.Index] = preDispatch{bytes: int64(len(enc)), state: dec}
+		}
+	}
+	return lt, nil
+}
+
+// OpenFlight registers a dispatch in the in-flight set and anchors its
+// staleness to the current global version. Flight IDs are assigned in call
+// order, so open flights deterministically (single goroutine) and Execute
+// them concurrently.
+func (s *Server) OpenFlight(sl Slot) *Flight {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	f := &Flight{ID: s.nextID, Slot: sl, Version: s.version}
+	s.inflight[f.ID] = f
+	return f
+}
+
+// Execute runs the flight's local training (Steps 4-5 of Algorithm 1).
+// Distinct flights may execute concurrently.
+func (s *Server) Execute(trainer Trainer, f *Flight) {
+	f.res = s.trainSlot(trainer, f.Slot.Client, f.Slot.Sent, f.Slot.Seed)
+}
+
+// Release removes a flight from the in-flight set (its upload arrived, was
+// dropped, or the run is abandoning it). The client becomes selectable
+// again.
+func (s *Server) Release(f *Flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, f.ID)
+}
+
+// InFlight returns the number of open flights.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// Version returns the number of aggregations applied to the global model.
+func (s *Server) Version() int { return s.version }
+
+// Staleness returns how many aggregations have been applied since the
+// flight was dispatched.
+func (s *Server) Staleness(f *Flight) int { return s.version - f.Version }
+
+// Outcome classifies how a flight was finalised.
+type Outcome int
+
+// Flight outcomes.
+const (
+	// Merged: the upload arrived in time and joins the next aggregation.
+	Merged Outcome = iota
+	// Late: the upload arrived after its round closed; wire bytes were
+	// spent but the result is discarded (communication waste).
+	Late
+	// Dropped: the client went offline before the upload completed;
+	// nothing came back.
+	Dropped
+)
+
+// Record finalises an executed flight's outcome: it applies the RL table
+// update and returns the ledger entry plus the aggregation update. The
+// update is non-nil only for Merged flights that trained successfully; the
+// caller applies any staleness discount to its weight before aggregating.
+func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
+	d := f.Dispatch()
+	if oc == Dropped {
+		// The server never saw the upload: nothing is known beyond the
+		// dispatch itself. Like a capacity failure, record the smallest
+		// member so the selector learns to avoid the flaky client.
+		d.Dropped, d.Got, d.GotBytes = true, d.Sent, 0
+		s.tables.RecordDispatch(f.Slot.Sent, s.pool.Smallest(), f.Slot.Client)
+		return d, nil
+	}
+	if f.res.failed {
+		// Nothing came back; the dispatch was pure waste. Record the
+		// smallest member as the observed return for the tables so the
+		// selector learns to avoid this client for large models.
+		s.tables.RecordDispatch(f.Slot.Sent, s.pool.Smallest(), f.Slot.Client)
+		return d, nil
+	}
+	// The upload arrived (possibly late): the returned member is a
+	// truthful capacity observation either way.
+	s.tables.RecordDispatch(f.Slot.Sent, f.res.got, f.Slot.Client)
+	if oc == Late {
+		d.Late = true
+		return d, nil
+	}
+	return d, &agg.Update{State: f.res.state, Weight: float64(f.res.samples)}
+}
+
+// ApplyUpdates aggregates merged updates into the global model and bumps
+// the version. An empty update set is a no-op (the version does not move).
+func (s *Server) ApplyUpdates(updates []agg.Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	next, err := agg.Aggregate(s.global, updates)
+	if err != nil {
+		return err
+	}
+	s.global = next
+	s.version++
+	return nil
+}
+
+// NextRound advances and returns the round counter (ledger numbering).
+func (s *Server) NextRound() int {
+	s.round++
+	return s.round
+}
+
+// PushStats appends a completed ledger entry. The synchronous Round does
+// this itself; event-driven schedulers push one entry per aggregation.
+func (s *Server) PushStats(st RoundStats) {
+	s.stats = append(s.stats, st)
+}
+
+// Round executes one FL round of Algorithm 1: split (the pool is static —
+// weights are sliced per dispatch), random model selection, RL client
+// selection, parallel local training with on-device pruning, RL table
+// updates, and heterogeneous aggregation. It is the synchronous
+// composition of the reentrant steps above: plan, open, execute in
+// parallel, then collect at a barrier in slot order.
+func (s *Server) Round() error {
+	round := s.NextRound()
+	slots := s.PlanSlots(s.cfg.ClientsPerRound, nil)
+	trainer, err := s.RoundTrainer(slots)
+	if err != nil {
+		return fmt.Errorf("core: round %d %w", round, err)
+	}
+	k := len(slots)
 	par := s.cfg.Parallelism
 	if par <= 0 || par > k {
 		par = k
 	}
-	results := make([]localResult, k)
+	flights := make([]*Flight, k)
+	for i, sl := range slots {
+		flights[i] = s.OpenFlight(sl)
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
+	for _, f := range flights {
 		wg.Add(1)
-		seed := s.rng.Int63()
-		go func(i int, seed int64) {
+		go func(f *Flight) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = s.trainSlot(trainer, slots[i].client, slots[i].sent, seed)
-			results[i].slot = i
-		}(i, seed)
+			s.Execute(trainer, f)
+		}(f)
 	}
 	wg.Wait()
 
-	// Phase 3 — RL table updates, ledger, aggregation.
+	// Collect — RL table updates, ledger, aggregation, in slot order.
+	stats := RoundStats{Round: round}
 	var updates []agg.Update
-	for i, res := range results {
-		if res.err != nil {
-			return fmt.Errorf("core: round %d client %d: %w", s.round, slots[i].client, res.err)
+	for _, f := range flights {
+		s.Release(f)
+		if err := f.Err(); err != nil {
+			return fmt.Errorf("core: round %d client %d: %w", round, f.Slot.Client, err)
 		}
-		d := Dispatch{Client: slots[i].client, Sent: slots[i].sent, Got: res.got, Failed: res.failed,
-			SentBytes: res.sentBytes, GotBytes: res.gotBytes}
-		stats.Dispatches = append(stats.Dispatches, d)
-		stats.SentParams += slots[i].sent.Size
-		stats.SentBytes += res.sentBytes
-		if res.failed {
-			// Nothing came back; the dispatch was pure waste. Record the
-			// smallest member as the observed return for the tables so
-			// the selector learns to avoid this client for large models.
-			s.tables.RecordDispatch(slots[i].sent, s.pool.Smallest(), slots[i].client)
-			continue
+		d, u := s.Record(f, Merged)
+		stats.Add(d)
+		if u != nil {
+			updates = append(updates, *u)
 		}
-		stats.ReturnedParams += res.got.Size
-		stats.ReturnedBytes += res.gotBytes
-		s.tables.RecordDispatch(slots[i].sent, res.got, slots[i].client)
-		updates = append(updates, agg.Update{State: res.state, Weight: float64(res.samples)})
 	}
 	s.stats = append(s.stats, stats)
-	if len(updates) > 0 {
-		next, err := agg.Aggregate(s.global, updates)
-		if err != nil {
-			return fmt.Errorf("core: round %d aggregate: %w", s.round, err)
-		}
-		s.global = next
+	if err := s.ApplyUpdates(updates); err != nil {
+		return fmt.Errorf("core: round %d aggregate: %w", round, err)
 	}
 	return nil
 }
@@ -335,10 +556,10 @@ func (s *Server) trainSlot(trainer Trainer, clientID int, sent prune.Submodel, s
 		return localResult{err: err}
 	}
 	if res.Failed {
-		return localResult{failed: true, got: sent, sentBytes: res.SentBytes}
+		return localResult{failed: true, got: sent, sentBytes: res.SentBytes, codec: res.CodecTag}
 	}
 	return localResult{state: res.State, samples: res.Samples, got: res.Got,
-		sentBytes: res.SentBytes, gotBytes: res.GotBytes}
+		sentBytes: res.SentBytes, gotBytes: res.GotBytes, codec: res.CodecTag}
 }
 
 // preDispatch is one pre-encoded dispatch: the wire size and the decoded
@@ -354,13 +575,23 @@ type preDispatch struct {
 // on the client's local shard.
 type localTrainer struct {
 	s *Server
-	// pre caches the codec round-trip of each dispatched pool member for
-	// one round, keyed by member index (nil when no codec is configured).
+	// pre caches the codec round-trip of each dispatched pool member,
+	// keyed by member index (nil when no codec is configured): seeded up
+	// front for the planned slots and extended on first use for members
+	// dispatched later, under mu. The cache is only valid for one global
+	// snapshot — RoundTrainer's contract is a fresh trainer per
+	// aggregation.
+	mu  *sync.Mutex
 	pre map[int]preDispatch
 }
 
 // PreDecodedFor implements preDecodedTrainer.
 func (lt localTrainer) PreDecodedFor(memberIndex int) bool {
+	if lt.pre == nil {
+		return false
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
 	_, ok := lt.pre[memberIndex]
 	return ok
 }
@@ -372,32 +603,44 @@ func (lt localTrainer) PreDecodedFor(memberIndex int) bool {
 func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error) {
 	var sentBytes int64
 	if c := lt.s.cfg.Codec; c != nil {
-		if d, ok := lt.pre[sent.Index]; ok {
-			sentBytes, sentState = d.bytes, d.state
-		} else {
-			// Fallback for direct calls outside Round's precompute.
+		lt.mu.Lock()
+		d, ok := lt.pre[sent.Index]
+		if !ok {
+			// First dispatch of this member through this trainer: round-trip
+			// it once and memoize, so later dispatches of the same member
+			// (same global snapshot) reuse the work.
 			enc, err := c.Encode(sentState, nil)
 			if err != nil {
+				lt.mu.Unlock()
 				return TrainResult{}, err
 			}
-			sentBytes = int64(len(enc))
-			if sentState, err = c.Decode(enc, nil); err != nil {
+			dec, err := c.Decode(enc, nil)
+			if err != nil {
+				lt.mu.Unlock()
 				return TrainResult{}, err
 			}
+			d = preDispatch{bytes: int64(len(enc)), state: dec}
+			lt.pre[sent.Index] = d
 		}
+		lt.mu.Unlock()
+		sentBytes, sentState = d.bytes, d.state
+	}
+	var tag string
+	if lt.s.cfg.Codec != nil {
+		tag = lt.s.cfg.Codec.Tag()
 	}
 	client := lt.s.clients[clientID]
 	capacity := client.Device.Capacity()
 	got, ok := lt.s.pool.LargestFit(sent, capacity)
 	if !ok {
-		return TrainResult{Failed: true, SentBytes: sentBytes}, nil
+		return TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: tag}, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
 	if err != nil {
 		return TrainResult{}, err
 	}
-	res := TrainResult{State: trained, Samples: client.Data.Len(), Got: got, SentBytes: sentBytes}
+	res := TrainResult{State: trained, Samples: client.Data.Len(), Got: got, SentBytes: sentBytes, CodecTag: tag}
 	if c := lt.s.cfg.Codec; c != nil {
 		// The uplink reference is the decoded dispatched state — the same
 		// tensor a device agent would diff against.

@@ -37,6 +37,16 @@ type Scale struct {
 	// through ("raw", "f32", "q8", "delta" — see internal/wire). Empty
 	// keeps the exact in-memory float64 path.
 	Codec string
+	// Sched names the aggregation policy the AdaptiveFL server runs under
+	// ("sync", "deadline", "semiasync" — see internal/sched). Empty keeps
+	// the legacy synchronous Round loop; any policy drives training
+	// through the event-driven engine on the Table 5 cost model, with each
+	// Runner.Round advancing one aggregation.
+	Sched string
+	// Trace names the availability trace for scheduled runs (see
+	// sched.ParseTrace: "always", "straggler:…", "churn:…"). Empty means
+	// every client is always available at nominal speed.
+	Trace string
 }
 
 // QuickScale finishes an experiment in tens of seconds; used by the

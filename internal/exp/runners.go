@@ -8,6 +8,8 @@ import (
 	"adaptivefl/internal/eval"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
+	"adaptivefl/internal/sched"
+	"adaptivefl/internal/testbed"
 	"adaptivefl/internal/wire"
 )
 
@@ -32,7 +34,7 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 				return nil, err
 			}
 		}
-		return baselines.NewAdaptive(core.Config{
+		a, err := baselines.NewAdaptive(core.Config{
 			Model:           fed.Model,
 			Pool:            prune.Config{P: p},
 			RL:              rlCfg,
@@ -44,6 +46,10 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			Parallelism:     sc.Parallelism,
 			Codec:           codec,
 		}, fed.Clients, label)
+		if err != nil || sc.Sched == "" {
+			return a, err
+		}
+		return schedRunner(a, fed, sc)
 	}
 	adaptive := func(mode rl.Mode, greedy bool, p int, label string) (baselines.Runner, error) {
 		return adaptiveRL(mode, greedy, p, rl.Config{}, label)
@@ -75,6 +81,36 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 		return adaptive(rl.ModeCS, false, 1, name)
 	}
 	return nil, fmt.Errorf("exp: unknown algorithm %q", name)
+}
+
+// schedRunner wraps an AdaptiveFL runner with the event-driven scheduler:
+// the Table 5 platform prices every dispatch, sc.Trace shapes per-client
+// availability (weak-class devices are the straggler spec's targets), and
+// sc.Sched picks the aggregation policy.
+func schedRunner(a *baselines.Adaptive, fed *Federation, sc Scale) (baselines.Runner, error) {
+	policy, err := sched.ParsePolicy(sc.Sched)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := testbed.NewSim(testbed.Table5Platform())
+	if err != nil {
+		return nil, err
+	}
+	weak := func(c int) bool { return fed.Clients[c].Device.Class == core.Weak }
+	trace, err := sched.ParseTrace(sc.Trace, sc.Seed+909, weak)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sched.New(a.Srv, sim, trace, sched.Config{
+		Policy:      policy,
+		K:           sc.K,
+		Epochs:      sc.LocalEpochs,
+		Parallelism: sc.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return baselines.NewSchedAdaptive(a, eng, policy), nil
 }
 
 // RunCurve advances a runner for the scale's rounds, evaluating every

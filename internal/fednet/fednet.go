@@ -17,10 +17,13 @@ package fednet
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptivefl/internal/core"
@@ -29,6 +32,20 @@ import (
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/wire"
 )
+
+// instanceHeader carries the agent's per-process instance ID on every
+// response, so the server can detect a restarted agent (whose codec
+// support may have changed) and re-negotiate instead of failing rounds.
+const instanceHeader = "Fednet-Instance"
+
+// errCodecNotAccepted marks a dispatch whose codec the agent refuses;
+// ServeHTTP maps it to 415 so the trainer can re-negotiate and retry.
+var errCodecNotAccepted = errors.New("codec not accepted")
+
+// instanceCounter makes agent instance IDs unique within a process; the
+// random prefix distinguishes processes (an agent restart usually is a new
+// process, but tests restart in-process).
+var instanceCounter atomic.Int64
 
 // TrainRequest is the server→device dispatch payload.
 type TrainRequest struct {
@@ -61,9 +78,11 @@ type TrainResponse struct {
 }
 
 // CodecList is the GET /train negotiation payload: the codec tags the
-// agent accepts, in its order of preference.
+// agent accepts, in its order of preference, plus the agent's instance ID
+// (a fresh ID per construction, so a restart is observable).
 type CodecList struct {
-	Codecs []string `json:"codecs"`
+	Codecs   []string `json:"codecs"`
+	Instance string   `json:"instance,omitempty"`
 }
 
 // Agent is the device-side service: it owns a data shard and a device
@@ -76,6 +95,17 @@ type Agent struct {
 	// Codecs restricts which wire codecs this agent accepts, in order of
 	// preference. Nil accepts every registered codec, preferring raw.
 	Codecs []string
+	// ErrorFeedback carries each upload's quantization residual into the
+	// next upload (wire.ErrorFeedback). Sender-side only: the stream stays
+	// wire-compatible, so the server needs no configuration.
+	ErrorFeedback bool
+
+	// instance identifies this agent construction; a restarted agent gets
+	// a fresh ID, which is how the server notices its negotiation is stale.
+	instance string
+	// ef holds this agent's residual streams, one per codec tag.
+	efMu sync.Mutex
+	ef   map[string]*wire.ErrorFeedback
 }
 
 // NewAgent builds a device agent. The pool is rebuilt from the model and
@@ -85,7 +115,34 @@ func NewAgent(client *core.Client, mcfg models.Config, pcfg prune.Config) (*Agen
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{Client: client, Model: mcfg, Pool: pool}, nil
+	return &Agent{
+		Client: client, Model: mcfg, Pool: pool,
+		instance: fmt.Sprintf("agent-%d-%08x", instanceCounter.Add(1), rand.Int63()),
+	}, nil
+}
+
+// Instance returns the agent's per-construction instance ID.
+func (a *Agent) Instance() string { return a.instance }
+
+// uplinkCodec returns the codec the agent answers with: the negotiated one,
+// wrapped with this agent's persistent error-feedback stream when enabled.
+// Residual streams are per codec tag and live as long as the agent — a
+// restart naturally resets them along with the instance ID.
+func (a *Agent) uplinkCodec(c wire.Codec) wire.Codec {
+	if !a.ErrorFeedback {
+		return c
+	}
+	a.efMu.Lock()
+	defer a.efMu.Unlock()
+	if a.ef == nil {
+		a.ef = map[string]*wire.ErrorFeedback{}
+	}
+	ef, ok := a.ef[c.Tag()]
+	if !ok {
+		ef = wire.NewErrorFeedback(c)
+		a.ef[c.Tag()] = ef
+	}
+	return ef
 }
 
 // SupportedCodecs returns the codec tags this agent accepts, in
@@ -119,9 +176,10 @@ func (a *Agent) acceptsCodec(tag string) bool {
 // ServeHTTP handles POST /train (a dispatch) and GET /train (codec
 // negotiation: the supported tag list).
 func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(instanceHeader, a.instance)
 	if r.Method == http.MethodGet {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(CodecList{Codecs: a.SupportedCodecs()}); err != nil {
+		if err := json.NewEncoder(w).Encode(CodecList{Codecs: a.SupportedCodecs(), Instance: a.instance}); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -142,6 +200,13 @@ func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := a.Train(req)
 	if err != nil {
+		// A codec this agent does not speak is a negotiation problem, not a
+		// server error: 415 tells the trainer to re-negotiate and retry
+		// (the agent restarted with a different codec set).
+		if errors.Is(err, errCodecNotAccepted) {
+			http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -158,7 +223,7 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 		return TrainResponse{}, fmt.Errorf("fednet: sent index %d outside pool", req.SentIndex)
 	}
 	if !a.acceptsCodec(req.Codec) {
-		return TrainResponse{}, fmt.Errorf("fednet: codec %q not accepted (supported: %v)", req.Codec, a.SupportedCodecs())
+		return TrainResponse{}, fmt.Errorf("fednet: codec %q %w (supported: %v)", req.Codec, errCodecNotAccepted, a.SupportedCodecs())
 	}
 	codec, err := wire.ByTag(req.Codec)
 	if err != nil {
@@ -181,7 +246,7 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 	}
 	// The upload diffs against the dispatched state as this device
 	// decoded it — the reference the server reconstructs the same way.
-	up, err := codec.Encode(trained, st)
+	up, err := a.uplinkCodec(codec).Encode(trained, st)
 	if err != nil {
 		return TrainResponse{}, err
 	}
@@ -202,8 +267,18 @@ type HTTPTrainer struct {
 	// Codec encodes dispatches (nil means raw). Negotiate can override it
 	// per client with what each agent actually supports.
 	Codec wire.Codec
+
+	// mu guards the negotiation state below; dispatches to different
+	// clients run concurrently and may re-negotiate mid-round.
+	mu sync.Mutex
 	// perClient holds negotiated per-agent codecs, keyed by client ID.
 	perClient map[int]wire.Codec
+	// preferred remembers Negotiate's codec ranking so a detected agent
+	// restart can re-run the same negotiation for one client.
+	preferred []wire.Codec
+	// instances remembers each agent's instance ID; a changed ID means the
+	// agent restarted and its negotiation may be stale.
+	instances map[int]string
 }
 
 // NewHTTPTrainer builds a trainer for the given agent endpoints.
@@ -217,6 +292,8 @@ func NewHTTPTrainer(urls []string, pool *prune.Pool, train core.TrainConfig) *HT
 // codecFor resolves the codec for one client: negotiated first, then the
 // trainer default, then raw.
 func (t *HTTPTrainer) codecFor(clientID int) wire.Codec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if c, ok := t.perClient[clientID]; ok {
 		return c
 	}
@@ -233,86 +310,142 @@ func (t *HTTPTrainer) codecFor(clientID int) wire.Codec {
 // speaks, NOT the trainer default (which the agent might reject and turn
 // a transient negotiation failure into a round-fatal dispatch error).
 // Negotiation is an optimisation, not a requirement, so per-agent errors
-// do not abort it.
+// do not abort it. The preference ranking is remembered: when a later
+// dispatch detects that an agent restarted (new instance ID, or a 415
+// codec rejection), that one client is re-negotiated automatically.
 func (t *HTTPTrainer) Negotiate(preferred ...wire.Codec) {
-	if t.perClient == nil {
-		t.perClient = make(map[int]wire.Codec, len(t.URLs))
-	}
-	for id, url := range t.URLs {
-		t.perClient[id] = wire.Raw{}
-		httpResp, err := t.HTTPClient.Get(url)
-		if err != nil {
-			continue
-		}
-		var list CodecList
-		err = json.NewDecoder(httpResp.Body).Decode(&list)
-		httpResp.Body.Close()
-		if err != nil || httpResp.StatusCode != http.StatusOK {
-			continue
-		}
-		supported := make(map[string]bool, len(list.Codecs))
-		for _, tag := range list.Codecs {
-			supported[tag] = true
-		}
-		for _, c := range preferred {
-			if supported[c.Tag()] {
-				t.perClient[id] = c
-				break
-			}
-		}
+	t.mu.Lock()
+	t.preferred = preferred
+	t.mu.Unlock()
+	for id := range t.URLs {
+		t.negotiateClient(id)
 	}
 }
 
-// TrainDispatch implements core.Trainer over HTTP.
+// negotiateClient (re-)negotiates the codec for one client and records the
+// agent's instance ID.
+func (t *HTTPTrainer) negotiateClient(id int) {
+	chosen := wire.Codec(wire.Raw{})
+	instance := ""
+	t.mu.Lock()
+	preferred := t.preferred
+	t.mu.Unlock()
+	if httpResp, err := t.HTTPClient.Get(t.URLs[id]); err == nil {
+		var list CodecList
+		err = json.NewDecoder(httpResp.Body).Decode(&list)
+		httpResp.Body.Close()
+		if err == nil && httpResp.StatusCode == http.StatusOK {
+			instance = list.Instance
+			supported := make(map[string]bool, len(list.Codecs))
+			for _, tag := range list.Codecs {
+				supported[tag] = true
+			}
+			for _, c := range preferred {
+				if supported[c.Tag()] {
+					chosen = c
+					break
+				}
+			}
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.perClient == nil {
+		t.perClient = make(map[int]wire.Codec, len(t.URLs))
+		t.instances = make(map[int]string, len(t.URLs))
+	}
+	t.perClient[id] = chosen
+	t.instances[id] = instance
+}
+
+// noteInstance records the instance ID seen on a response and reports
+// whether it differs from the previously recorded one (agent restart).
+func (t *HTTPTrainer) noteInstance(clientID int, instance string) (restarted bool) {
+	if instance == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.instances == nil {
+		t.instances = make(map[int]string, len(t.URLs))
+	}
+	prev, known := t.instances[clientID]
+	t.instances[clientID] = instance
+	return known && prev != "" && prev != instance
+}
+
+// TrainDispatch implements core.Trainer over HTTP. If the agent answers
+// 415 (it restarted with a different codec set and no longer speaks the
+// negotiated encoding), the trainer re-negotiates that one client and
+// retries the dispatch once with the freshly agreed codec.
 func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
 	if clientID < 0 || clientID >= len(t.URLs) {
 		return core.TrainResult{}, fmt.Errorf("fednet: no agent URL for client %d", clientID)
 	}
+	res, status, err := t.dispatchOnce(clientID, sent, sentState, seed)
+	if status == http.StatusUnsupportedMediaType {
+		t.negotiateClient(clientID)
+		res, _, err = t.dispatchOnce(clientID, sent, sentState, seed)
+	}
+	return res, err
+}
+
+// dispatchOnce performs one POST round trip with the currently negotiated
+// codec, returning the HTTP status for the retry decision.
+func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, int, error) {
 	codec := t.codecFor(clientID)
 	down, err := codec.Encode(sentState, nil)
 	if err != nil {
-		return core.TrainResult{}, err
+		return core.TrainResult{}, 0, err
 	}
 	reqBody, err := json.Marshal(TrainRequest{
 		SentIndex: sent.Index, Codec: codec.Tag(), State: down, Train: t.Train, Seed: seed,
 	})
 	if err != nil {
-		return core.TrainResult{}, err
+		return core.TrainResult{}, 0, err
 	}
 	httpResp, err := t.HTTPClient.Post(t.URLs[clientID], "application/json", bytes.NewReader(reqBody))
 	if err != nil {
-		return core.TrainResult{}, fmt.Errorf("fednet: dispatch to client %d: %w", clientID, err)
+		return core.TrainResult{}, 0, fmt.Errorf("fednet: dispatch to client %d: %w", clientID, err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1024))
-		return core.TrainResult{}, fmt.Errorf("fednet: client %d returned %s: %s", clientID, httpResp.Status, msg)
+		return core.TrainResult{}, httpResp.StatusCode,
+			fmt.Errorf("fednet: client %d returned %s: %s", clientID, httpResp.Status, msg)
+	}
+	// A successful response from a different agent instance means the
+	// agent restarted since negotiation (it still accepted this codec, so
+	// the dispatch stands) — refresh its negotiation so the NEXT dispatch
+	// uses the codec the new instance actually prefers.
+	if t.noteInstance(clientID, httpResp.Header.Get(instanceHeader)) {
+		t.negotiateClient(clientID)
 	}
 	var resp TrainResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return core.TrainResult{}, err
+		return core.TrainResult{}, httpResp.StatusCode, err
 	}
 	sentBytes := int64(len(down))
 	if resp.Failed {
-		return core.TrainResult{Failed: true, SentBytes: sentBytes}, nil
+		return core.TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: codec.Tag()}, httpResp.StatusCode, nil
 	}
 	if resp.GotIndex < 0 || resp.GotIndex >= len(t.Pool.Members) {
-		return core.TrainResult{}, fmt.Errorf("fednet: client %d returned bad member index %d", clientID, resp.GotIndex)
+		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: client %d returned bad member index %d", clientID, resp.GotIndex)
 	}
 	upCodec, err := wire.ByTag(resp.Codec)
 	if err != nil {
-		return core.TrainResult{}, fmt.Errorf("fednet: client %d: %w", clientID, err)
+		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: client %d: %w", clientID, err)
 	}
 	var ref nn.State
 	if upCodec.UsesRef() {
 		// Reconstruct the agent's reference — its decode of the dispatch.
 		if ref, err = codec.Decode(down, nil); err != nil {
-			return core.TrainResult{}, err
+			return core.TrainResult{}, httpResp.StatusCode, err
 		}
 	}
 	st, err := upCodec.Decode(resp.State, ref)
 	if err != nil {
-		return core.TrainResult{}, fmt.Errorf("fednet: decode upload from client %d: %w", clientID, err)
+		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: decode upload from client %d: %w", clientID, err)
 	}
 	return core.TrainResult{
 		State:     st,
@@ -320,7 +453,8 @@ func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState
 		Got:       t.Pool.Members[resp.GotIndex],
 		SentBytes: sentBytes,
 		GotBytes:  int64(len(resp.State)),
-	}, nil
+		CodecTag:  upCodec.Tag(),
+	}, httpResp.StatusCode, nil
 }
 
 var _ core.Trainer = (*HTTPTrainer)(nil)

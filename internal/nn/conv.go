@@ -4,15 +4,21 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"adaptivefl/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution with square kernels, implemented as
-// batched im2col + GEMM: the whole batch is unfolded into one
-// [InC*K*K, N*OH*OW] column matrix so forward is a single GEMM per layer
-// call (not one per sample), and backward is two batched GEMMs (dW, dX).
-// Weight layout is [OutC, InC, K, K]; input batches are [N, InC, H, W].
+// im2col + GEMM over per-sample column blocks: each sample's [InC*K*K,
+// OH*OW] block feeds one GEMM whose destination is a view straight into
+// the [N, OutC, OH, OW] output, so no scatter copy reorders the result
+// (and backward's gradient gather disappears symmetrically — the grad's
+// per-sample [OutC, OH*OW] blocks are already GEMM-shaped). Per-element
+// accumulation order matches the former whole-batch forward GEMM exactly
+// (dot products over the same K·K·InC reduction), so forward results are
+// bitwise unchanged. Weight layout is [OutC, InC, K, K]; input batches
+// are [N, InC, H, W].
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	UseBias                   bool
@@ -22,7 +28,7 @@ type Conv2D struct {
 	// forward cache, retained only for train-mode forwards; eval-mode
 	// forwards release it so inference does not pin the column buffer.
 	in     *tensor.Tensor
-	cols   *tensor.Tensor // batched im2col matrix [InC*K*K, N*OH*OW]
+	cols   *tensor.Tensor // im2col blocks [N, InC*K*K, OH*OW]
 	oh, ow int
 }
 
@@ -49,97 +55,125 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.ow = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
 	spatial := c.oh * c.ow
 	rows := c.InC * c.K * c.K
-	total := n * spatial
 
 	var cols *tensor.Tensor
 	if train {
-		if c.cols == nil || c.cols.Shape[0] != rows || c.cols.Shape[1] != total {
-			c.cols = tensor.New(rows, total)
+		if c.cols == nil || c.cols.Shape[0] != n || c.cols.Shape[1] != rows || c.cols.Shape[2] != spatial {
+			c.cols = tensor.New(n, rows, spatial)
 		}
 		cols = c.cols
 		c.in = x
 	} else {
-		// Eval-mode forwards don't keep the column matrix for a backward
-		// pass, so draw it from the size-keyed scratch pool shared across
-		// all conv layers instead of allocating per call.
-		cols = tensor.GetScratch(rows, total)
+		// Eval-mode forwards don't keep column blocks for a backward pass,
+		// so one scratch block from the size-keyed pool is reused for
+		// every sample instead of allocating per call.
+		cols = tensor.GetScratch(rows, spatial)
 		c.in, c.cols = nil, nil
 	}
-	tensor.Im2ColBatch(x, c.K, c.K, c.Stride, c.Pad, cols)
 
-	// One GEMM for the whole batch: [OutC, rows] x [rows, N*spatial].
+	// One GEMM per sample, written straight into the sample's [OutC,
+	// spatial] block of the output — the GEMM destination IS the final
+	// layout, so nothing is scattered afterwards. Samples touch disjoint
+	// cols and output blocks, so they run concurrently when workers are
+	// available (each element is still computed by exactly one fixed code
+	// path, so results stay bitwise independent of the parallelism).
 	wm := c.weight.Val.Reshape(c.OutC, rows)
-	ybuf := tensor.GetScratch(c.OutC, total)
-	tensor.Gemm(false, false, 1, wm, cols, 0, ybuf)
-	if !train {
-		tensor.PutScratch(cols)
-	}
-
-	// Scatter [OutC, N*spatial] back to [N, OutC, OH, OW], adding bias.
 	out := tensor.New(n, c.OutC, c.oh, c.ow)
-	for o := 0; o < c.OutC; o++ {
-		src := ybuf.Data[o*total : (o+1)*total]
-		b := 0.0
-		if c.UseBias {
-			b = c.bias.Val.Data[o]
+	doSample := func(s int, colsS *tensor.Tensor) {
+		xs := tensor.FromSlice(x.Data[s*ci*h*w:(s+1)*ci*h*w], ci, h, w)
+		tensor.Im2Col(xs, c.K, c.K, c.Stride, c.Pad, colsS)
+		outS := tensor.FromSlice(out.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
+		tensor.Gemm(false, false, 1, wm, colsS, 0, outS)
+	}
+	trainCols := func(s int) *tensor.Tensor {
+		return tensor.FromSlice(cols.Data[s*rows*spatial:(s+1)*rows*spatial], rows, spatial)
+	}
+	if par := tensor.Parallelism(); par > 1 && n > 1 {
+		if par > n {
+			par = n
 		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
 		for s := 0; s < n; s++ {
-			dst := out.Data[(s*c.OutC+o)*spatial : (s*c.OutC+o+1)*spatial]
-			seg := src[s*spatial : (s+1)*spatial]
-			if c.UseBias {
-				for i, v := range seg {
-					dst[i] = v + b
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if train {
+					doSample(s, trainCols(s))
+					return
 				}
+				colsS := tensor.GetScratch(rows, spatial)
+				doSample(s, colsS)
+				tensor.PutScratch(colsS)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < n; s++ {
+			if train {
+				doSample(s, trainCols(s))
 			} else {
-				copy(dst, seg)
+				doSample(s, cols)
 			}
 		}
 	}
-	tensor.PutScratch(ybuf)
+	if !train {
+		tensor.PutScratch(cols)
+	}
+	if c.UseBias {
+		for s := 0; s < n; s++ {
+			for o := 0; o < c.OutC; o++ {
+				b := c.bias.Val.Data[o]
+				dst := out.Data[(s*c.OutC+o)*spatial : (s*c.OutC+o+1)*spatial]
+				for i := range dst {
+					dst[i] += b
+				}
+			}
+		}
+	}
 	return out
 }
 
-// Backward accumulates dW (and db) and returns dX.
+// Backward accumulates dW (and db) and returns dX. The grad's per-sample
+// [OutC, spatial] blocks are used as GEMM operands in place — the layout
+// Forward writes is exactly the layout backward needs, so the former
+// [OutC, N*spatial] gather buffer is gone.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.in == nil || c.cols == nil {
 		panic(fmt.Sprintf("nn: conv %s Backward without a train-mode Forward", c.weight.Name))
 	}
 	n := grad.Shape[0]
 	spatial := c.oh * c.ow
-	total := n * spatial
 	rows := c.InC * c.K * c.K
 	h, w := c.in.Shape[2], c.in.Shape[3]
 
-	// Gather grad [N, OutC, spatial] into [OutC, N*spatial] so both
-	// backward products are single batched GEMMs.
-	gbuf := tensor.New(c.OutC, total)
-	for s := 0; s < n; s++ {
-		for o := 0; o < c.OutC; o++ {
-			copy(gbuf.Data[o*total+s*spatial:o*total+(s+1)*spatial],
-				grad.Data[(s*c.OutC+o)*spatial:(s*c.OutC+o+1)*spatial])
-		}
-	}
-
 	dwm := c.weight.Grad.Reshape(c.OutC, rows)
 	wm := c.weight.Val.Reshape(c.OutC, rows)
-	// dW += g · colsᵀ
-	tensor.Gemm(false, true, 1, gbuf, c.cols, 1, dwm)
-	// dcols = Wᵀ · g
-	dcols := tensor.New(rows, total)
-	tensor.Gemm(true, false, 1, wm, gbuf, 0, dcols)
 	dx := tensor.New(n, c.InC, h, w)
-	tensor.Col2ImBatch(dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, dx)
-
-	if c.UseBias {
-		for o := 0; o < c.OutC; o++ {
-			row := gbuf.Data[o*total : (o+1)*total]
-			s := 0.0
-			for _, v := range row {
-				s += v
+	dcols := tensor.GetScratch(rows, spatial)
+	for s := 0; s < n; s++ {
+		gS := tensor.FromSlice(grad.Data[s*c.OutC*spatial:(s+1)*c.OutC*spatial], c.OutC, spatial)
+		colsS := tensor.FromSlice(c.cols.Data[s*rows*spatial:(s+1)*rows*spatial], rows, spatial)
+		// dW += g_s · cols_sᵀ
+		tensor.Gemm(false, true, 1, gS, colsS, 1, dwm)
+		// dcols_s = Wᵀ · g_s, folded back into the sample's dX plane.
+		tensor.Gemm(true, false, 1, wm, gS, 0, dcols)
+		dxS := tensor.FromSlice(dx.Data[s*c.InC*h*w:(s+1)*c.InC*h*w], c.InC, h, w)
+		tensor.Col2Im(dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, dxS)
+		if c.UseBias {
+			for o := 0; o < c.OutC; o++ {
+				row := gS.Data[o*spatial : (o+1)*spatial]
+				acc := 0.0
+				for _, v := range row {
+					acc += v
+				}
+				c.bias.Grad.Data[o] += acc
 			}
-			c.bias.Grad.Data[o] += s
 		}
 	}
+	tensor.PutScratch(dcols)
 	return dx
 }
 

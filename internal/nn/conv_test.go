@@ -219,6 +219,28 @@ func TestConvEvalScratchReuse(t *testing.T) {
 	}
 }
 
+// TestConvForwardParallelBitwise: the per-sample forward fan-out must be
+// bitwise identical to the serial loop, in both train and eval mode —
+// each output element is computed by exactly one fixed code path, so the
+// worker count may never show up in the numbers.
+func TestConvForwardParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	conv := NewConv2D(rng, "c", 3, 5, 3, 1, 1, true)
+	x := tensor.Randn(rng, 1, 6, 3, 9, 9)
+	defer tensor.SetParallelism(tensor.SetParallelism(1))
+	for _, train := range []bool{true, false} {
+		tensor.SetParallelism(1)
+		want := conv.Forward(x, train)
+		tensor.SetParallelism(4)
+		got := conv.Forward(x, train)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("train=%v: parallel forward differs at %d", train, i)
+			}
+		}
+	}
+}
+
 // TestConvBackwardAfterEvalPanics documents that Backward requires a
 // train-mode Forward.
 func TestConvBackwardAfterEvalPanics(t *testing.T) {

@@ -169,11 +169,23 @@ func (m Mode) String() string {
 // according to P(m, c) = R(m, c)/Σ_j R(m, j). Candidates must be non-empty;
 // if every reward is zero the choice is uniform.
 func (t *Tables) SelectClient(rng *rand.Rand, mode Mode, m prune.Submodel, pool *prune.Pool, candidates []int) int {
-	if len(candidates) == 0 {
+	c, ok := t.TrySelectClient(rng, mode, m, pool, candidates)
+	if !ok {
 		panic("rl: SelectClient with no candidates")
 	}
+	return c
+}
+
+// TrySelectClient is SelectClient for callers whose candidate set can
+// legitimately be empty — an availability-trace scheduler may find every
+// client offline or already in flight. It reports false instead of
+// panicking in that case, and otherwise samples exactly as SelectClient.
+func (t *Tables) TrySelectClient(rng *rand.Rand, mode Mode, m prune.Submodel, pool *prune.Pool, candidates []int) (int, bool) {
+	if len(candidates) == 0 {
+		return 0, false
+	}
 	if mode == ModeRandom {
-		return candidates[rng.Intn(len(candidates))]
+		return candidates[rng.Intn(len(candidates))], true
 	}
 	weights := make([]float64, len(candidates))
 	sum := 0.0
@@ -191,14 +203,14 @@ func (t *Tables) SelectClient(rng *rand.Rand, mode Mode, m prune.Submodel, pool 
 		sum += w
 	}
 	if sum <= 0 {
-		return candidates[rng.Intn(len(candidates))]
+		return candidates[rng.Intn(len(candidates))], true
 	}
 	r := rng.Float64() * sum
 	for i, w := range weights {
 		r -= w
 		if r < 0 {
-			return candidates[i]
+			return candidates[i], true
 		}
 	}
-	return candidates[len(candidates)-1]
+	return candidates[len(candidates)-1], true
 }

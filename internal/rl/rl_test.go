@@ -263,6 +263,30 @@ func TestSelectClientRespectsCandidates(t *testing.T) {
 	}
 }
 
+// TestTrySelectClientToleratesEmptyCandidates pins the non-panicking path
+// an availability-trace scheduler relies on: every client can be offline
+// or in flight, and selection must report that instead of crashing.
+func TestTrySelectClientToleratesEmptyCandidates(t *testing.T) {
+	pool := testPool(t)
+	tb := NewTables(Config{}, pool.P, len(pool.Members), 5)
+	rng := rand.New(rand.NewSource(5))
+	for _, mode := range []Mode{ModeCS, ModeC, ModeS, ModeRandom} {
+		if _, ok := tb.TrySelectClient(rng, mode, pool.Largest(), pool, nil); ok {
+			t.Fatalf("mode %v: empty candidate set reported a selection", mode)
+		}
+	}
+	got, ok := tb.TrySelectClient(rng, ModeCS, pool.Largest(), pool, []int{2})
+	if !ok || got != 2 {
+		t.Fatalf("single candidate: got %d ok=%v", got, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SelectClient must still panic on an empty candidate set")
+		}
+	}()
+	tb.SelectClient(rng, ModeCS, pool.Largest(), pool, nil)
+}
+
 func TestModeStrings(t *testing.T) {
 	if ModeCS.String() != "RL-CS" || ModeC.String() != "RL-C" || ModeS.String() != "RL-S" || ModeRandom.String() != "Random" {
 		t.Fatal("mode names changed")

@@ -1,0 +1,594 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/core"
+)
+
+// evKind classifies queue events.
+type evKind int
+
+const (
+	evArrive evKind = iota // the flight's upload reaches the server
+	evDrop                 // the client goes offline before finishing
+)
+
+func (k evKind) String() string {
+	if k == evDrop {
+		return "drop"
+	}
+	return "arrive"
+}
+
+// flight wraps one open core.Flight with its simulation fate.
+type flight struct {
+	f   *core.Flight
+	d   core.Dispatch // priced ledger view of the executed dispatch
+	eta float64       // virtual completion (or dropout) time
+	// drops is the flight's fate, known at launch: the client's
+	// availability window ends before the upload would complete.
+	drops bool
+	// collected marks a flight whose completion event fired before its
+	// round closed (deadline policy: it made the cut).
+	collected bool
+	// recorded marks flights already finalised (deadline closes a round
+	// before its stragglers' events fire); their events only release.
+	recorded bool
+}
+
+// event is one entry of the virtual-time queue, ordered by (t, seq) so
+// simultaneous events resolve in issue order, deterministically.
+type event struct {
+	t    float64
+	seq  int64
+	kind evKind
+	fl   *flight
+}
+
+// eventHeap implements container/heap over events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event federated-training driver.
+type Engine struct {
+	cfg   Config
+	srv   *core.Server
+	cost  CostModel
+	trace Trace
+
+	clock  float64
+	seq    int64
+	events eventHeap
+	busy   map[int]bool // client id → has an open flight
+
+	log     []string
+	commits []Commit
+
+	// semiasync stream state, persisted across Steps.
+	buffer []agg.Update
+	accum  core.RoundStats
+	// trainer is the cached per-version trainer for one-at-a-time
+	// dispatches: RoundTrainer snapshots the global weights, so it stays
+	// valid (and keeps memoizing codec pre-encodes) until the next
+	// aggregation bumps the version.
+	trainer    core.Trainer
+	trainerVer int
+}
+
+// New builds an engine around a server. cost is required; a nil trace
+// defaults to AlwaysOn.
+func New(srv *core.Server, cost CostModel, trace Trace, cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if srv == nil || cost == nil {
+		return nil, fmt.Errorf("sched: server and cost model are required")
+	}
+	if trace == nil {
+		trace = AlwaysOn{}
+	}
+	if cfg.K > len(srv.Clients()) {
+		return nil, fmt.Errorf("sched: K=%d exceeds population %d", cfg.K, len(srv.Clients()))
+	}
+	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, busy: map[int]bool{}}, nil
+}
+
+// Clock returns the current virtual time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// Log returns the event log: one line per dispatch, arrival, drop and
+// commit, in virtual-time order. Two runs with the same seed, trace and
+// cost model produce identical logs.
+func (e *Engine) Log() []string { return e.log }
+
+// Commits returns the aggregations performed so far.
+func (e *Engine) Commits() []Commit { return e.commits }
+
+func (e *Engine) logf(format string, args ...any) {
+	e.log = append(e.log, fmt.Sprintf(format, args...))
+}
+
+func (e *Engine) push(t float64, kind evKind, fl *flight) {
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, kind: kind, fl: fl})
+}
+
+func (e *Engine) pop() *event { return heap.Pop(&e.events).(*event) }
+
+// eligible reports whether client c can receive a dispatch now.
+func (e *Engine) eligible(c int) bool {
+	if e.busy[c] {
+		return false
+	}
+	up, _, _ := e.trace.Window(c, e.clock)
+	return up
+}
+
+// countEligible counts currently dispatchable clients.
+func (e *Engine) countEligible() int {
+	n := 0
+	for c := range e.srv.Clients() {
+		if e.eligible(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// nextOffline returns the first time in [t, horizon) at which client c is
+// offline, or +Inf if the client stays up for the whole span. Consecutive
+// up segments (a speed change without churn) do not count — only a real
+// off window can kill a flight.
+func (e *Engine) nextOffline(c int, t, horizon float64) float64 {
+	for t < horizon {
+		up, _, until := e.trace.Window(c, t)
+		if !up {
+			return t
+		}
+		if math.IsInf(until, 1) {
+			return math.Inf(1)
+		}
+		t = until
+	}
+	return math.Inf(1)
+}
+
+// transferEnd advances t by dur seconds of network transfer, or reports
+// the dropout time if the client goes offline first.
+func (e *Engine) transferEnd(c int, t, dur float64) (end float64, dropped bool) {
+	if off := e.nextOffline(c, t, t+dur); off < t+dur {
+		return off, true
+	}
+	return t + dur, false
+}
+
+// trainEnd integrates `work` nominal training seconds over the client's
+// trace segments starting at t: a segment with slowdown f delivers
+// (segment length)/f nominal seconds of progress, and an off segment
+// kills the flight. Returns the completion (or dropout) time.
+func (e *Engine) trainEnd(c int, t, work float64) (end float64, dropped bool) {
+	for work > 0 {
+		up, slow, until := e.trace.Window(c, t)
+		if !up {
+			return t, true
+		}
+		need := work * slow
+		if math.IsInf(until, 1) || t+need <= until {
+			return t + need, false
+		}
+		work -= (until - t) / slow
+		t = until
+	}
+	return t, false
+}
+
+// schedule prices an executed flight and enqueues its completion (or
+// dropout) event: download, then training integrated across the trace's
+// speed segments (a flight crossing into a slowed segment is charged the
+// slow rate for exactly the span it overlaps), then upload. The flight
+// drops at the first moment its client is offline. The caller verified
+// the client is up at the current clock.
+func (e *Engine) schedule(cf *core.Flight) *flight {
+	d := cf.Dispatch()
+	cl := e.srv.Clients()[d.Client]
+	down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
+	t, dropped := e.transferEnd(d.Client, e.clock, down)
+	if !dropped {
+		t, dropped = e.trainEnd(d.Client, t, train)
+	}
+	if !dropped {
+		t, dropped = e.transferEnd(d.Client, t, up)
+	}
+	fl := &flight{f: cf, d: d, eta: t, drops: dropped}
+	kind := evArrive
+	if dropped {
+		kind = evDrop
+	}
+	e.busy[d.Client] = true
+	e.push(fl.eta, kind, fl)
+	e.logf("%.3f dispatch c%d %s eta=%.3f%s",
+		e.clock, d.Client, d.Sent.Name(), fl.eta, map[bool]string{true: " will-drop"}[fl.drops])
+	return fl
+}
+
+// release hands the flight's client back to the selectable pool.
+func (e *Engine) release(fl *flight) {
+	e.srv.Release(fl.f)
+	delete(e.busy, fl.d.Client)
+}
+
+// nextWindowOpen returns the earliest time a currently-offline, not-busy
+// client comes back up, or +Inf if none is offline.
+func (e *Engine) nextWindowOpen() float64 {
+	open := math.Inf(1)
+	for c := range e.srv.Clients() {
+		if e.busy[c] {
+			continue
+		}
+		if up, _, until := e.trace.Window(c, e.clock); !up && until < open {
+			open = until
+		}
+	}
+	return open
+}
+
+// waitEligible advances virtual time until at least one client is
+// dispatchable, processing any queue events passed over (stragglers from
+// closed rounds release their clients here). It fails if nothing can ever
+// become eligible again.
+func (e *Engine) waitEligible() error {
+	for {
+		if e.countEligible() > 0 {
+			return nil
+		}
+		tNext := math.Inf(1)
+		if len(e.events) > 0 {
+			tNext = e.events[0].t
+		}
+		// A down client's window end is the other signal that can change
+		// eligibility.
+		for c := range e.srv.Clients() {
+			if e.busy[c] {
+				continue
+			}
+			if up, _, until := e.trace.Window(c, e.clock); !up && until < tNext {
+				tNext = until
+			}
+		}
+		if math.IsInf(tNext, 1) {
+			return fmt.Errorf("sched: stalled at t=%.3f — no client can become available", e.clock)
+		}
+		if len(e.events) > 0 && e.events[0].t <= tNext {
+			ev := e.pop()
+			e.clock = ev.t
+			e.finishResidual(ev)
+			continue
+		}
+		e.clock = tNext
+	}
+}
+
+// finishResidual handles an event for a flight that was already finalised
+// when its round closed: the client is released and the outcome logged,
+// but ledger and tables were settled at close time.
+func (e *Engine) finishResidual(ev *event) {
+	e.release(ev.fl)
+	e.logf("%.3f late-%s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
+}
+
+// launchBatch opens flights for the slots in order (deterministic IDs),
+// executes them concurrently bounded by Parallelism, and schedules their
+// completion events. Training errors surface immediately.
+func (e *Engine) launchBatch(slots []core.Slot) ([]*flight, error) {
+	trainer, err := e.srv.RoundTrainer(slots)
+	if err != nil {
+		return nil, fmt.Errorf("sched: t=%.3f %w", e.clock, err)
+	}
+	open := make([]*core.Flight, len(slots))
+	for i, sl := range slots {
+		open[i] = e.srv.OpenFlight(sl)
+	}
+	par := e.cfg.Parallelism
+	if par <= 0 || par > len(open) {
+		par = len(open)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, cf := range open {
+		wg.Add(1)
+		go func(cf *core.Flight) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e.srv.Execute(trainer, cf)
+		}(cf)
+	}
+	wg.Wait()
+	fls := make([]*flight, len(open))
+	for i, cf := range open {
+		if err := cf.Err(); err != nil {
+			return nil, fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
+		}
+		fls[i] = e.schedule(cf)
+	}
+	return fls, nil
+}
+
+// commitRecorded applies one aggregation from finalised dispatches and
+// logs it.
+func (e *Engine) commitRecorded(round int, stats core.RoundStats, updates []agg.Update) (Commit, error) {
+	stats.Round = round
+	if err := e.srv.ApplyUpdates(updates); err != nil {
+		return Commit{}, fmt.Errorf("sched: t=%.3f round %d aggregate: %w", e.clock, round, err)
+	}
+	e.srv.PushStats(stats)
+	c := Commit{Round: round, Time: e.clock, Merged: len(updates)}
+	for _, d := range stats.Dispatches {
+		switch {
+		case d.Dropped:
+			c.Dropped++
+		case d.Failed:
+			c.Failed++
+		case d.Late:
+			c.Late++
+		}
+	}
+	e.commits = append(e.commits, c)
+	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d dropped=%d",
+		e.clock, round, c.Merged, c.Failed, c.Late, c.Dropped)
+	return c, nil
+}
+
+// stepSync runs one barrier round: plan K dispatches among the available
+// clients, wait for every one of them to arrive or drop, then aggregate in
+// slot order — the legacy synchronous semantics on the virtual clock.
+func (e *Engine) stepSync() (Commit, error) {
+	if err := e.waitEligible(); err != nil {
+		return Commit{}, err
+	}
+	round := e.srv.NextRound()
+	slots := e.srv.PlanSlots(e.cfg.K, e.eligible)
+	fls, err := e.launchBatch(slots)
+	if err != nil {
+		return Commit{}, err
+	}
+	for remaining := len(fls); remaining > 0; remaining-- {
+		ev := e.pop()
+		e.clock = ev.t
+		e.release(ev.fl)
+		e.logf("%.3f %s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
+	}
+	stats := core.RoundStats{}
+	var updates []agg.Update
+	for _, fl := range fls {
+		oc := core.Merged
+		if fl.drops {
+			oc = core.Dropped
+		}
+		d, u := e.srv.Record(fl.f, oc)
+		stats.Add(d)
+		if u != nil {
+			updates = append(updates, *u)
+		}
+	}
+	return e.commitRecorded(round, stats, updates)
+}
+
+// stepDeadline runs one over-provisioned round: dispatch K+Δ, close as
+// soon as K responses are in (or the absolute deadline passes with at
+// least one), and finalise stragglers as Late/Dropped waste at close.
+func (e *Engine) stepDeadline() (Commit, error) {
+	if err := e.waitEligible(); err != nil {
+		return Commit{}, err
+	}
+	round := e.srv.NextRound()
+	slots := e.srv.PlanSlots(e.cfg.K+e.cfg.Extra, e.eligible)
+	fls, err := e.launchBatch(slots)
+	if err != nil {
+		return Commit{}, err
+	}
+	target := e.cfg.K
+	if target > len(fls) {
+		target = len(fls)
+	}
+	deadline := math.Inf(1)
+	if e.cfg.Deadline > 0 {
+		deadline = e.clock + e.cfg.Deadline
+	}
+	thisRound := make(map[*flight]bool, len(fls))
+	for _, fl := range fls {
+		thisRound[fl] = true
+	}
+	// pending counts this round's flights still in the queue: once they
+	// are exhausted (everything else dropped) the round closes with what
+	// it has — prior rounds' residual events must not extend the wait.
+	pending := len(fls)
+	arrived := 0
+	for arrived < target && pending > 0 {
+		// Past the deadline with something in hand: stop waiting. (With an
+		// empty hand the round stays open until the first response, which
+		// may itself land past the deadline — the clock only ever moves
+		// forward, so the close time is the later of the two.)
+		if arrived >= 1 && e.events[0].t > deadline {
+			if e.clock < deadline {
+				e.clock = deadline
+			}
+			e.logf("%.3f deadline round=%d arrived=%d", e.clock, round, arrived)
+			break
+		}
+		ev := e.pop()
+		e.clock = ev.t
+		if ev.fl.recorded {
+			e.finishResidual(ev)
+			continue
+		}
+		e.release(ev.fl)
+		e.logf("%.3f %s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
+		if thisRound[ev.fl] {
+			pending--
+			ev.fl.collected = true
+			if ev.kind == evArrive {
+				arrived++
+			}
+		}
+	}
+	stats := core.RoundStats{}
+	var updates []agg.Update
+	for _, fl := range fls {
+		var oc core.Outcome
+		switch {
+		case fl.collected && !fl.drops:
+			oc = core.Merged
+		case fl.drops:
+			oc = core.Dropped
+		default:
+			oc = core.Late
+		}
+		fl.recorded = true
+		d, u := e.srv.Record(fl.f, oc)
+		stats.Add(d)
+		if u != nil {
+			updates = append(updates, *u)
+		}
+	}
+	return e.commitRecorded(round, stats, updates)
+}
+
+// currentTrainer returns the trainer for one-at-a-time dispatches,
+// rebuilding it only when an aggregation has moved the global weights.
+func (e *Engine) currentTrainer() (core.Trainer, error) {
+	if e.trainer == nil || e.trainerVer != e.srv.Version() {
+		trainer, err := e.srv.RoundTrainer(nil)
+		if err != nil {
+			return nil, err
+		}
+		e.trainer, e.trainerVer = trainer, e.srv.Version()
+	}
+	return e.trainer, nil
+}
+
+// refill tops the in-flight set back up to K, one planned dispatch at a
+// time, among currently eligible clients.
+func (e *Engine) refill() error {
+	for e.srv.InFlight() < e.cfg.K {
+		slots := e.srv.PlanSlots(1, e.eligible)
+		if len(slots) == 0 {
+			return nil // nobody dispatchable right now
+		}
+		trainer, err := e.currentTrainer()
+		if err != nil {
+			return fmt.Errorf("sched: t=%.3f %w", e.clock, err)
+		}
+		cf := e.srv.OpenFlight(slots[0])
+		e.srv.Execute(trainer, cf)
+		if err := cf.Err(); err != nil {
+			return fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
+		}
+		e.schedule(cf)
+	}
+	return nil
+}
+
+// stepSemiAsync advances the buffered-asynchronous stream until the next
+// aggregation: keep K dispatches in flight, fold every arrival into the
+// buffer with its staleness discount, and commit once B updates are in.
+func (e *Engine) stepSemiAsync() (Commit, error) {
+	for {
+		if err := e.refill(); err != nil {
+			return Commit{}, err
+		}
+		if len(e.events) == 0 {
+			// Nothing in flight and nobody eligible: wait for a window.
+			if err := e.waitEligible(); err != nil {
+				return Commit{}, err
+			}
+			continue
+		}
+		// Below the in-flight target with clients merely offline: if a
+		// window opens before the next queued event, jump there and cut
+		// the dispatch immediately instead of letting the client idle
+		// until an unrelated arrival happens to wake the loop.
+		if e.srv.InFlight() < e.cfg.K {
+			if open := e.nextWindowOpen(); open < e.events[0].t {
+				e.clock = open
+				continue
+			}
+		}
+		ev := e.pop()
+		e.clock = ev.t
+		e.release(ev.fl)
+		if ev.kind == evDrop {
+			d, _ := e.srv.Record(ev.fl.f, core.Dropped)
+			e.accum.Add(d)
+			e.logf("%.3f drop c%d %s", e.clock, ev.fl.d.Client, ev.fl.d.Sent.Name())
+			continue
+		}
+		stale := e.srv.Staleness(ev.fl.f)
+		d, u := e.srv.Record(ev.fl.f, core.Merged)
+		e.accum.Add(d)
+		e.logf("%.3f arrive c%d %s stale=%d", e.clock, d.Client, d.Got.Name(), stale)
+		if u != nil {
+			u.Weight *= stalenessDiscount(stale, e.cfg.StalenessExp)
+			e.buffer = append(e.buffer, *u)
+		}
+		if len(e.buffer) >= e.cfg.Buffer {
+			round := e.srv.NextRound()
+			c, err := e.commitRecorded(round, e.accum, e.buffer)
+			if err != nil {
+				return Commit{}, err
+			}
+			e.buffer, e.accum = nil, core.RoundStats{}
+			return c, nil
+		}
+	}
+}
+
+// Step advances the schedule until the next aggregation and returns it.
+func (e *Engine) Step() (Commit, error) {
+	switch e.cfg.Policy {
+	case Sync:
+		return e.stepSync()
+	case Deadline:
+		return e.stepDeadline()
+	case SemiAsync:
+		return e.stepSemiAsync()
+	}
+	return Commit{}, fmt.Errorf("sched: unknown policy %q", e.cfg.Policy)
+}
+
+// Run performs n aggregations, invoking cb (if non-nil) after each; cb
+// returning false stops early.
+func (e *Engine) Run(n int, cb func(Commit) bool) error {
+	for i := 0; i < n; i++ {
+		c, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if cb != nil && !cb(c) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -87,6 +87,32 @@ func (s *Sim) TransferTimeBytes(class core.DeviceClass, downBytes, upBytes int64
 	return float64(downBytes+upBytes) / sp.Bandwidth
 }
 
+// DispatchTimes prices the three phases of one dispatch for the
+// event-driven scheduler (internal/sched's CostModel): seconds to move the
+// dispatched model down, train it locally, and move the result back up.
+// Dispatches carrying real encoded byte counts are charged those bytes;
+// otherwise the BytesPerParam × params estimate applies. Failed dispatches
+// mirror RoundTime's accounting: no training, and the estimate path's full
+// round trip (d.Got = d.Sent there) becomes an uplink of the sent size.
+func (s *Sim) DispatchTimes(class core.DeviceClass, d core.Dispatch, samples, epochs int) (down, train, up float64) {
+	sp := s.specs[class]
+	if d.SentBytes > 0 {
+		down = float64(d.SentBytes) / sp.Bandwidth
+		upBytes := d.GotBytes
+		if d.Failed {
+			upBytes = d.SentBytes
+		}
+		up = float64(upBytes) / sp.Bandwidth
+	} else {
+		down = float64(d.Sent.Size) * s.BytesPerParam / sp.Bandwidth
+		up = float64(d.Got.Size) * s.BytesPerParam / sp.Bandwidth
+	}
+	if !d.Failed {
+		train = s.TrainTime(class, d.Got.MACs, samples, epochs)
+	}
+	return down, train, up
+}
+
 // RoundTime computes one synchronous round's wall-clock: the slowest
 // selected client's transfer + training time. classOf maps client id to
 // device class; samplesOf to local dataset size. Dispatches that carry

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// ErrorFeedback wraps a lossy codec with residual error feedback: the
+// quantization error of each Encode is remembered and added back into the
+// next Encode of the same stream, so rounding errors cancel across rounds
+// instead of random-walking. Over an FL run the receiver's reconstruction
+// drifts from the true weights by at most one quantization step, versus
+// an accumulating √rounds·step without feedback (see the round-trip test).
+//
+// The wire format — and therefore Tag — is the inner codec's, so the
+// receiving end needs no changes and negotiation is untouched. The wrapper
+// is stateful: one instance per stream (per agent, per direction), which
+// is why it is deliberately NOT in the tag registry — registry codecs are
+// shared singletons and a shared residual would leak state across clients.
+// fednet agents opt in per-agent via Agent.ErrorFeedback.
+type ErrorFeedback struct {
+	inner Codec
+	resid map[string]*tensor.Tensor
+}
+
+// NewErrorFeedback wraps a codec with a fresh residual stream. Wrapping a
+// lossless codec (raw) is harmless: its residuals are identically zero.
+func NewErrorFeedback(inner Codec) *ErrorFeedback {
+	return &ErrorFeedback{inner: inner, resid: map[string]*tensor.Tensor{}}
+}
+
+// Tag implements Codec: the stream is wire-compatible with the inner one.
+func (e *ErrorFeedback) Tag() string { return e.inner.Tag() }
+
+// UsesRef implements Codec.
+func (e *ErrorFeedback) UsesRef() bool { return e.inner.UsesRef() }
+
+// Encode implements Codec: it compensates st with the stored residual,
+// encodes with the inner codec, and stores the new residual (compensated
+// minus what the receiver will reconstruct). Tensors whose shape changed
+// since the last Encode (a differently-pruned upload) restart their
+// residual from zero — a prefix of an old residual would compensate the
+// wrong coordinates.
+func (e *ErrorFeedback) Encode(st, ref nn.State) ([]byte, error) {
+	comp := make(nn.State, len(st))
+	for name, t := range st {
+		if r, ok := e.resid[name]; ok && tensor.SameShape(r, t) {
+			c := t.Clone()
+			c.AddInPlace(r)
+			comp[name] = c
+		} else {
+			comp[name] = t
+		}
+	}
+	enc, err := e.inner.Encode(comp, ref)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := e.inner.Decode(enc, ref)
+	if err != nil {
+		return nil, err
+	}
+	for name, c := range comp {
+		d, ok := dec[name]
+		if !ok || !tensor.SameShape(d, c) {
+			delete(e.resid, name)
+			continue
+		}
+		r := c.Clone()
+		r.SubInPlace(d)
+		e.resid[name] = r
+	}
+	return enc, nil
+}
+
+// Decode implements Codec by delegating to the inner codec: feedback is a
+// sender-side mechanism and the payload is an ordinary inner-codec stream.
+func (e *ErrorFeedback) Decode(data []byte, ref nn.State) (nn.State, error) {
+	return e.inner.Decode(data, ref)
+}
+
+var _ Codec = (*ErrorFeedback)(nil)

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// simulateUplinkRounds models the FL transport loop the wrapper exists
+// for: each round the sender's true weights advance by a small update and
+// the receiver's copy is whatever survives the codec. It returns the mean
+// absolute drift between the receiver's copy and the true weights after
+// the final round.
+func simulateUplinkRounds(t *testing.T, codec Codec, rounds int) float64 {
+	t.Helper()
+	truth := randState(71)
+	received := truth.Clone()
+	for r := 0; r < rounds; r++ {
+		// The sender trains from what the receiver last reconstructed
+		// (the server aggregates decoded uploads and redispatches), so
+		// transport error feeds back into the next round's input — the
+		// accumulation this test measures.
+		next := perturb(received, int64(100+r), 1e-3)
+		// Truth advances by exactly the same training delta.
+		for name, v := range next {
+			d := v.Clone()
+			d.SubInPlace(received[name])
+			truth[name].AddInPlace(d)
+		}
+		enc, err := codec.Encode(next, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.Decode(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		received = dec
+	}
+	sum, n := 0.0, 0
+	for name, v := range truth {
+		for i := range v.Data {
+			sum += math.Abs(v.Data[i] - received[name].Data[i])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// TestErrorFeedbackBeatsPlainQ8 is the satellite's acceptance bar: over 10
+// simulated uplink rounds, carrying the quantization residual into the
+// next upload must leave strictly less accumulated error than plain q8.
+func TestErrorFeedbackBeatsPlainQ8(t *testing.T) {
+	const rounds = 10
+	plain := simulateUplinkRounds(t, Q8{}, rounds)
+	ef := simulateUplinkRounds(t, NewErrorFeedback(Q8{}), rounds)
+	if ef >= plain {
+		t.Fatalf("error feedback drift %.3g not below plain q8 %.3g", ef, plain)
+	}
+	// The win should be structural (bounded vs random walk), not noise.
+	if ef > 0.8*plain {
+		t.Fatalf("error feedback drift %.3g is not clearly below plain q8 %.3g", ef, plain)
+	}
+}
+
+// TestErrorFeedbackWireCompatible: an EF stream must decode with the plain
+// inner codec — feedback is sender-side only, so the receiving end (and
+// codec negotiation) cannot tell the difference.
+func TestErrorFeedbackWireCompatible(t *testing.T) {
+	ef := NewErrorFeedback(Q8{})
+	if ef.Tag() != TagQ8 || ef.UsesRef() {
+		t.Fatalf("wrapper changed the wire identity: tag=%q usesRef=%v", ef.Tag(), ef.UsesRef())
+	}
+	st := randState(72)
+	// Two encodes so the second carries a non-zero residual.
+	if _, err := ef.Encode(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ef.Encode(perturb(st, 73, 1e-3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Q8{}).Decode(enc, nil); err != nil {
+		t.Fatalf("plain q8 cannot decode an EF stream: %v", err)
+	}
+}
+
+// TestErrorFeedbackDeltaRef exercises the wrapper over the ref-using delta
+// codec: the residual mechanism must compose with reference diffs.
+func TestErrorFeedbackDeltaRef(t *testing.T) {
+	ref := randState(74)
+	ef := NewErrorFeedback(NewDeltaTopK())
+	st := perturb(ref, 75, 1e-3)
+	for r := 0; r < 3; r++ {
+		enc, err := ef.Encode(st, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := ef.Decode(enc, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(st, dec, t); d > 0.1 {
+			t.Fatalf("round %d: EF(delta) drifted %v", r, d)
+		}
+		st = perturb(st, int64(76+r), 1e-3)
+	}
+}
+
+// TestErrorFeedbackShapeChangeResets: a tensor uploaded at a different
+// pruned width must not be compensated with the old shape's residual.
+func TestErrorFeedbackShapeChangeResets(t *testing.T) {
+	ef := NewErrorFeedback(Q8{})
+	rng := rand.New(rand.NewSource(77))
+	wide := nn.State{"w": tensor.Randn(rng, 0.2, 8, 4)}
+	narrow := nn.State{"w": tensor.Randn(rng, 0.2, 4, 4)}
+	if _, err := ef.Encode(wide, nil); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ef.Encode(narrow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ef.Decode(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error must stay within one plain quantization step: the stale wide
+	// residual was discarded, not misapplied.
+	maxAbs := narrow["w"].MaxAbs()
+	if d := maxAbsDiff(narrow, dec, t); d > maxAbs/127 {
+		t.Fatalf("shape change produced drift %v beyond one q8 step %v", d, maxAbs/127)
+	}
+}
+
+// TestErrorFeedbackLossless: wrapping raw is a no-op with zero residuals.
+func TestErrorFeedbackLossless(t *testing.T) {
+	ef := NewErrorFeedback(Raw{})
+	st := randState(78)
+	for r := 0; r < 2; r++ {
+		enc, err := ef.Encode(st, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := ef.Decode(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(st, dec, t); d != 0 {
+			t.Fatalf("raw under EF is not bit-exact: %v", d)
+		}
+	}
+}
