@@ -9,6 +9,7 @@ package adaptivefl
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"adaptivefl/internal/agg"
@@ -20,6 +21,7 @@ import (
 	"adaptivefl/internal/nn"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
+	"adaptivefl/internal/sched"
 	"adaptivefl/internal/tensor"
 	"adaptivefl/internal/testbed"
 )
@@ -437,3 +439,68 @@ func seqInts(n int) []int {
 	}
 	return s
 }
+
+// --- scheduler benchmarks ---
+
+// benchSchedServer mirrors the sched test federation at bench scale.
+func benchSchedServer(b *testing.B, n, k int) *core.Server {
+	b.Helper()
+	mcfg := models.Config{Arch: models.ResNet18, NumClasses: 4, WidthScale: 0.07, Seed: 3}
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dcfg := data.SynthConfig{Name: "b", Classes: 4, Channels: 3, Size: 32,
+		Train: n * 12, Test: 40, Noise: 0.3, MaxShift: 1, Seed: 11}
+	train, _ := data.Generate(dcfg)
+	rng := rand.New(rand.NewSource(5))
+	parts := data.PartitionIID(rng, train.Len(), n)
+	devices := core.NewPopulation(rng, n, [3]float64{4, 3, 3}, pool, core.DefaultDeviceModel())
+	clients := make([]*core.Client, n)
+	for i := range clients {
+		clients[i] = &core.Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
+	}
+	srv, err := core.NewServer(core.Config{
+		Model: mcfg, Pool: prune.Config{P: 3}, ClientsPerRound: k,
+		Train: core.TrainConfig{LocalEpochs: 1, BatchSize: 6, LR: 0.05, Momentum: 0.5},
+		Seed:  41, Parallelism: k,
+	}, clients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchSchedRound measures one engine aggregation (Step) per iteration,
+// at Parallelism 1 and GOMAXPROCS, so the executor's speedup is read
+// straight off the par1/parN ratio on a multi-core runner. The straggler
+// trace keeps every client reachable (no stalls at any b.N).
+func benchSchedRound(b *testing.B, policy sched.Policy) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			srv := benchSchedServer(b, 10, 4)
+			sim, err := testbed.NewSim(testbed.Table5Platform())
+			if err != nil {
+				b.Fatal(err)
+			}
+			trace := &sched.RandomTrace{Seed: 7, MeanOn: 1e9, SlowProb: 0.3, SlowFactor: 3}
+			eng, err := sched.New(srv, sim, trace, sched.Config{
+				Policy: policy, K: 4, Extra: 2, Buffer: 2, Epochs: 1, Parallelism: par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSchedRound_Sync(b *testing.B)      { benchSchedRound(b, sched.Sync) }
+func BenchmarkSchedRound_Deadline(b *testing.B)  { benchSchedRound(b, sched.Deadline) }
+func BenchmarkSchedRound_Semiasync(b *testing.B) { benchSchedRound(b, sched.SemiAsync) }

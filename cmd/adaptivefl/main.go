@@ -36,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override seed")
 		codec   = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 		schedP  = flag.String("sched", "", "aggregation policy: sync|deadline|semiasync (empty = legacy synchronous loop)")
+		par     = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
 		trace   = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
 	)
 	flag.Parse()
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *par > 0 {
+		sc.Parallelism = *par
 	}
 	if *codec != "" {
 		if _, err := wire.ByTag(*codec); err != nil {

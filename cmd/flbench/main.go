@@ -10,10 +10,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"adaptivefl/internal/exp"
@@ -32,12 +35,23 @@ func main() {
 		codec    = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 		schedP   = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|semiasync (empty = legacy synchronous loop)")
 		trace    = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...])")
+		par      = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
+		benchOut = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
 	)
 	flag.Parse()
 
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
+	}
+	if *par > 0 {
+		sc.Parallelism = *par
+	}
+	if *benchOut != "" {
+		if err := writeSchedBench(*benchOut, sc); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *schedP != "" {
 		if _, err := sched.ParsePolicy(*schedP); err != nil {
@@ -138,6 +152,83 @@ func table2Cells(datasets, archs, dists string) []exp.Cell {
 		}
 	}
 	return cells
+}
+
+// schedBenchResult is one policy's measured cost per engine aggregation.
+type schedBenchResult struct {
+	NsPerRound     int64 `json:"ns_per_round"`
+	AllocsPerRound int64 `json:"allocs_per_round"`
+	BytesPerRound  int64 `json:"bytes_per_round"`
+	Rounds         int   `json:"rounds"`
+}
+
+// schedBenchFile is the BENCH_sched.json schema: a perf baseline future
+// changes can diff against, recorded with the parallelism knobs that
+// produced it.
+type schedBenchFile struct {
+	GOMAXPROCS  int                         `json:"gomaxprocs"`
+	Parallelism int                         `json:"parallelism"`
+	Scale       string                      `json:"scale"`
+	Policies    map[string]schedBenchResult `json:"policies"`
+}
+
+// writeSchedBench benchmarks one engine aggregation per policy on the
+// Table 5 platform federation (the same cell TableSched runs) and writes
+// the results as JSON. testing.Benchmark picks the iteration count.
+func writeSchedBench(path string, sc exp.Scale) error {
+	s := sc
+	s.Clients = 17
+	s.K = 5
+	if s.Trace == "" {
+		s.Trace = "straggler"
+	}
+	if s.Sched == "" {
+		s.Sched = "sync"
+	}
+	out := schedBenchFile{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: s.Parallelism,
+		Scale:       s.Name,
+		Policies:    map[string]schedBenchResult{},
+	}
+	for _, policy := range exp.SchedPolicies {
+		run := s
+		run.Sched = policy
+		fed, err := exp.BuildFederation(models.MobileNetV2, "widar", exp.Natural, [3]float64{4, 10, 3}, run)
+		if err != nil {
+			return err
+		}
+		r, err := exp.NewRunner("AdaptiveFL", fed, run)
+		if err != nil {
+			return err
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.Round(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s: %w", policy, benchErr)
+		}
+		out.Policies[policy] = schedBenchResult{
+			NsPerRound:     res.NsPerOp(),
+			AllocsPerRound: res.AllocsPerOp(),
+			BytesPerRound:  res.AllocedBytesPerOp(),
+			Rounds:         res.N,
+		}
+		fmt.Fprintf(os.Stderr, "flbench: %-10s %12d ns/round %8d allocs/round (%d rounds)\n",
+			policy, res.NsPerOp(), res.AllocsPerOp(), res.N)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+)
+
+// arenaTestSetup builds a small model config, a global state and a local
+// shard for training determinism checks.
+func arenaTestSetup(t *testing.T) (models.Config, nn.State, *data.Dataset, TrainConfig) {
+	t.Helper()
+	mcfg := models.Config{Arch: models.VGG16, NumClasses: 4, WidthScale: 0.05, Seed: 9}
+	global := nn.StateDict(models.MustBuild(mcfg, nil))
+	dcfg := data.SynthConfig{Name: "a", Classes: 4, Channels: 3, Size: 32,
+		Train: 24, Test: 8, Noise: 0.3, MaxShift: 1, Seed: 21}
+	train, _ := data.Generate(dcfg)
+	tc := TrainConfig{LocalEpochs: 2, BatchSize: 8, LR: 0.05, Momentum: 0.5}
+	return mcfg, global, train, tc
+}
+
+// TestArenaReuseExact pins the training arena's contract: a recycled
+// model (overwritten weights, zeroed gradients and momentum) trains
+// bit-identically to a freshly built one. The first TrainLocal call
+// populates the arena; the repeats reuse it. The reference replicates the
+// pre-arena TrainLocal loop with a fresh build.
+func TestArenaReuseExact(t *testing.T) {
+	mcfg, global, train, tc := arenaTestSetup(t)
+
+	// Fresh-build reference: the exact loop TrainLocal ran before arenas.
+	reference := func() nn.State {
+		model := models.MustBuild(mcfg, nil)
+		sliced, err := prune.ExtractForModel(global, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nn.LoadState(model, sliced); err != nil {
+			t.Fatal(err)
+		}
+		opt := nn.NewSGD(tc.LR, tc.Momentum, tc.WeightDecay)
+		rng := rand.New(rand.NewSource(7))
+		for epoch := 0; epoch < tc.LocalEpochs; epoch++ {
+			for _, batch := range train.Batches(rng, tc.BatchSize) {
+				x, labels := train.Gather(batch)
+				nn.ZeroGrads(model)
+				logits := model.Forward(x, true)
+				_, grad := nn.CrossEntropy(logits, labels)
+				model.Backward(grad)
+				opt.Step(model.Params())
+			}
+		}
+		return nn.StateDict(model)
+	}
+	want := reference()
+
+	for attempt := 0; attempt < 3; attempt++ {
+		got, err := TrainLocal(mcfg, nil, global, train, tc, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range want.Names() {
+			w, g := want[name], got[name]
+			if g == nil {
+				t.Fatalf("attempt %d: result missing parameter %q", attempt, name)
+			}
+			for i := range w.Data {
+				if w.Data[i] != g.Data[i] {
+					t.Fatalf("attempt %d: parameter %q element %d differs: fresh %v, arena %v",
+						attempt, name, i, w.Data[i], g.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaReuseAcrossWidths checks that interleaving constructions
+// (different width vectors through the same arena pool) cannot leak state
+// between them.
+func TestArenaReuseAcrossWidths(t *testing.T) {
+	mcfg, global, train, tc := arenaTestSetup(t)
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := pool.Smallest()
+	smallState, err := pool.ExtractState(global, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := TrainLocal(mcfg, small.Widths, smallState, train, tc, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train a different construction in between to dirty the arena pool.
+	if _, err := TrainLocal(mcfg, nil, global, train, tc, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	second, err := TrainLocal(mcfg, small.Widths, smallState, train, tc, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range first.Names() {
+		a, b := first[name], second[name]
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("parameter %q element %d differs after arena interleaving", name, i)
+			}
+		}
+	}
+}

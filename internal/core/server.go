@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/models"
@@ -29,7 +30,8 @@ type Config struct {
 	Train           TrainConfig
 	Seed            int64
 	// Parallelism bounds concurrent local trainers (Algorithm 1's
-	// parallel for). 0 means K.
+	// parallel for). 0 means GOMAXPROCS. The bound lives in the server's
+	// Executor, which the event-driven scheduler shares by default.
 	Parallelism int
 	// Trainer overrides how dispatches are executed. Nil uses in-process
 	// training on the client's dataset; internal/fednet provides an
@@ -69,6 +71,16 @@ type Trainer interface {
 	TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error)
 }
 
+// RoundStarter is an optional Trainer capability: RoundStart is invoked
+// whenever the server hands the trainer a fresh global snapshot (once per
+// synchronous round; once per aggregation under the event engine), with
+// the snapshot's version. Trainers that cache per-snapshot derived state
+// — fednet's HTTPTrainer caches its decoded downlink references — hook
+// this to evict between snapshots.
+type RoundStarter interface {
+	RoundStart(version int)
+}
+
 // Dispatch records one slot of one round, for communication accounting.
 type Dispatch struct {
 	Client    int
@@ -81,6 +93,11 @@ type Dispatch struct {
 	// Dropped marks a dispatch whose client went offline before the upload
 	// completed: nothing came back at all.
 	Dropped bool
+	// TrainSkipped marks a dispatch whose local training never ran because
+	// its result could not be observed (the flight's dropout was already
+	// sealed when it was priced — lazy execution). The eager engine used to
+	// burn training compute on exactly these dispatches.
+	TrainSkipped bool
 	// Codec is the wire codec tag the dispatch moved through (empty when
 	// the trainer moved raw in-memory states).
 	Codec string
@@ -101,6 +118,10 @@ type RoundStats struct {
 	// SentBytes / ReturnedBytes sum the encoded payload sizes (0 when no
 	// codec was in play).
 	SentBytes, ReturnedBytes int64
+	// TrainSkipped counts dispatches whose local training was skipped
+	// because the result was provably unobservable (see
+	// Dispatch.TrainSkipped).
+	TrainSkipped int
 }
 
 // Add appends d to the ledger and folds it into the round totals. Failed
@@ -111,6 +132,9 @@ func (st *RoundStats) Add(d Dispatch) {
 	st.Dispatches = append(st.Dispatches, d)
 	st.SentParams += d.Sent.Size
 	st.SentBytes += d.SentBytes
+	if d.TrainSkipped {
+		st.TrainSkipped++
+	}
 	if d.Failed || d.Dropped {
 		return
 	}
@@ -141,6 +165,10 @@ type Server struct {
 	inflight map[int64]*Flight
 	nextID   int64
 	mu       sync.Mutex
+
+	// exec bounds this server's concurrent local trainings; Round and (by
+	// default) the event-driven scheduler both execute through it.
+	exec *Executor
 }
 
 // NewServer validates the configuration, builds the model pool, the RL
@@ -174,9 +202,13 @@ func NewServer(cfg Config, clients []*Client) (*Server, error) {
 		global:   nn.StateDict(full),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		inflight: map[int64]*Flight{},
+		exec:     NewExecutor(cfg.Parallelism),
 	}
 	return s, nil
 }
+
+// Executor returns the server's training executor.
+func (s *Server) Executor() *Executor { return s.exec }
 
 // Pool exposes the model pool (read-only use intended).
 func (s *Server) Pool() *prune.Pool { return s.pool }
@@ -236,7 +268,10 @@ type localResult struct {
 	sentBytes int64
 	gotBytes  int64
 	codec     string
-	err       error
+	// skipped marks a result finalised from the flight's plan without
+	// training (the dropout was sealed before training could be observed).
+	skipped bool
+	err     error
 }
 
 // Slot is one planned dispatch: the selected client, the pool member to
@@ -248,9 +283,11 @@ type Slot struct {
 }
 
 // Flight is one in-flight dispatch: issued via OpenFlight, executed via
-// Execute, and finalised via Release/Record. The synchronous Round barriers
+// Execute (synchronously) or ExecuteAsync (on an Executor, joined via
+// Wait), and finalised via Release/Record. The synchronous Round barriers
 // on a whole round of flights; the event-driven scheduler (internal/sched)
-// keeps flights open across virtual time and aggregates them out of order.
+// keeps flights open across virtual time, executes them lazily while the
+// virtual clock advances, and aggregates them out of order.
 type Flight struct {
 	ID   int64
 	Slot Slot
@@ -258,18 +295,78 @@ type Flight struct {
 	// difference to the version at merge time is the update's staleness.
 	Version int
 	res     localResult
+
+	// global is the state snapshot the dispatch trains from, captured at
+	// open time. Aggregation replaces the server's state rather than
+	// mutating it, so the reference stays valid (and bit-exact) for
+	// lazily executed flights that outlive later commits.
+	global nn.State
+	// plan, when non-nil, is the pre-training forecast of the dispatch's
+	// ledger shape (Server.Plan).
+	plan *FlightPlan
+	// done is closed when an async execution (or a cancellation skip)
+	// finalises res; nil for synchronously executed flights.
+	done      chan struct{}
+	cancelled atomic.Bool
+	// resolved marks res as written on the opener's own goroutine
+	// (Execute, SkipFlight); async executions signal through done instead.
+	resolved bool
 }
 
 // Err reports the training error of an executed flight, if any.
 func (f *Flight) Err() error { return f.res.err }
 
-// Dispatch returns the ledger view of an executed flight's outcome. The
-// caller (or Record) stamps Late/Dropped according to how the flight was
-// finalised.
+// Wait joins an asynchronous execution; it returns immediately for
+// synchronously executed or skip-finalised flights.
+func (f *Flight) Wait() {
+	if f.done != nil {
+		<-f.done
+	}
+}
+
+// Cancel marks a pending asynchronous execution as unwanted: if no worker
+// has picked it up yet, training is skipped and the result is finalised
+// from the plan (ledger-identical for every field an unaggregated outcome
+// reads). A training already underway completes and is simply discarded.
+func (f *Flight) Cancel() { f.cancelled.Store(true) }
+
+// finalised reports whether res is safe to read: the flight either ran
+// (or was skip-finalised) on the opener's goroutine, or its done channel
+// has been closed. Observing the closed channel orders the worker's res
+// writes before the caller's read; the resolved flag is only consulted
+// when no async execution was started, so it never races a worker.
+func (f *Flight) finalised() bool {
+	if f.done != nil {
+		select {
+		case <-f.done:
+			return true
+		default:
+			return false
+		}
+	}
+	return f.resolved
+}
+
+// Dispatch returns the ledger view of a flight's outcome. The caller (or
+// Record) stamps Late/Dropped according to how the flight was finalised.
+// For a planned flight whose execution is still pending (a cancelled
+// deadline straggler), the view derives from planResult — identical,
+// field for field, to what the executed result would report for an
+// outcome that discards the trained weights, with TrainSkipped false
+// because whether the worker had already started is timing noise.
 func (f *Flight) Dispatch() Dispatch {
-	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: f.res.got,
-		Failed: f.res.failed, Codec: f.res.codec,
-		SentBytes: f.res.sentBytes, GotBytes: f.res.gotBytes}
+	var res localResult
+	if f.plan != nil && !f.finalised() {
+		// res must not be touched here: a cancelled worker may still be
+		// writing it.
+		res = f.planResult(false)
+	} else {
+		res = f.res
+	}
+	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: res.got,
+		Failed: res.failed, Codec: res.codec,
+		SentBytes: res.sentBytes, GotBytes: res.gotBytes,
+		TrainSkipped: res.skipped}
 }
 
 // PlanSlots runs Algorithm 1's selection phase for up to k dispatches over
@@ -334,6 +431,9 @@ func (s *Server) PlanSlots(k int, eligible func(int) bool) []Slot {
 // aggregation.
 func (s *Server) RoundTrainer(slots []Slot) (Trainer, error) {
 	if s.cfg.Trainer != nil {
+		if rs, ok := s.cfg.Trainer.(RoundStarter); ok {
+			rs.RoundStart(s.version)
+		}
 		return s.cfg.Trainer, nil
 	}
 	lt := localTrainer{s: s}
@@ -370,15 +470,108 @@ func (s *Server) OpenFlight(sl Slot) *Flight {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	f := &Flight{ID: s.nextID, Slot: sl, Version: s.version}
+	f := &Flight{ID: s.nextID, Slot: sl, Version: s.version, global: s.global}
 	s.inflight[f.ID] = f
 	return f
 }
 
+// FlightPlan is the pre-training forecast of a dispatch's ledger shape:
+// everything the cost model and the ledger can know before (or without)
+// running local training. The in-process trainer resolves it from the
+// device's capacity draw; networked trainers cannot (the pruning decision
+// happens on the device), so planning is an in-process capability.
+type FlightPlan struct {
+	// Got is the pool member the device will train after on-device
+	// pruning (Sent when Failed).
+	Got    prune.Submodel
+	Failed bool
+	// SentBytes is the encoded downlink size (0 without a codec).
+	SentBytes int64
+	// Codec is the wire codec tag ("" without a codec).
+	Codec string
+	// UpBytesKnown reports that the uplink size is derivable without
+	// training: true on the parameter-estimate path, false with a codec
+	// (the encoded upload length depends on the trained values).
+	UpBytesKnown bool
+}
+
+// Plan resolves a flight's on-device pruning decision ahead of training,
+// consuming the device's capacity draw exactly where the eager path would
+// (one draw per dispatch, in dispatch order). A planned flight's Execute
+// reuses the decision instead of drawing again. Returns (nil, nil) when
+// the trainer cannot preflight — custom trainers own the capacity draw.
+func (s *Server) Plan(trainer Trainer, f *Flight) (*FlightPlan, error) {
+	lt, ok := trainer.(localTrainer)
+	if !ok {
+		return nil, nil
+	}
+	client := s.clients[f.Slot.Client]
+	got, fit := s.pool.LargestFit(f.Slot.Sent, client.Device.Capacity())
+	pl := &FlightPlan{Got: got, Failed: !fit, UpBytesKnown: s.cfg.Codec == nil}
+	if !fit {
+		pl.Got = f.Slot.Sent
+	}
+	if s.cfg.Codec != nil {
+		pl.Codec = s.cfg.Codec.Tag()
+		pd, err := lt.preFor(f.Slot.Sent, f.global)
+		if err != nil {
+			return nil, err
+		}
+		pl.SentBytes = pd.bytes
+	}
+	f.plan = pl
+	return pl, nil
+}
+
+// SkipFlight finalises a planned flight without training — lazy
+// execution's payoff: a flight whose dropout is already sealed before the
+// upload phase would discard its result unread, so no compute is spent
+// producing it. Capacity failures are finalised the same way (they never
+// trained) but are not counted as skips.
+func (s *Server) SkipFlight(f *Flight) {
+	f.res = f.planResult(true)
+	f.resolved = true
+}
+
+// planResult is the plan-derived localResult an unexecuted flight
+// finalises with — the single place the plan-view/res-view field equality
+// lives. skipped marks deterministic plan-time skips (ledgered); racy
+// cancellation skips pass false so timing never shows in the ledger.
+// Capacity failures never had training to skip either way.
+func (f *Flight) planResult(skipped bool) localResult {
+	pl := f.plan
+	return localResult{failed: pl.Failed, got: pl.Got,
+		sentBytes: pl.SentBytes, codec: pl.Codec, skipped: skipped && !pl.Failed}
+}
+
 // Execute runs the flight's local training (Steps 4-5 of Algorithm 1).
-// Distinct flights may execute concurrently.
+// Distinct flights may execute concurrently. A planned flight trains the
+// member its plan resolved; an unplanned one defers the whole decision to
+// the trainer.
 func (s *Server) Execute(trainer Trainer, f *Flight) {
-	f.res = s.trainSlot(trainer, f.Slot.Client, f.Slot.Sent, f.Slot.Seed)
+	if lt, ok := trainer.(localTrainer); ok && f.plan != nil {
+		f.res = s.trainPlanned(lt, f)
+	} else {
+		f.res = s.trainSlot(trainer, f)
+	}
+	f.resolved = true
+}
+
+// ExecuteAsync enqueues the flight's training on the executor; Wait joins
+// it. A flight cancelled before a worker picks it up skips training and
+// finalises from its plan.
+func (s *Server) ExecuteAsync(x *Executor, trainer Trainer, f *Flight) {
+	f.done = make(chan struct{})
+	x.run(func() {
+		defer close(f.done)
+		if f.cancelled.Load() && f.plan != nil {
+			f.res = f.planResult(false)
+			x.skipped.Add(1)
+			return
+		}
+		x.executed.Add(1)
+		s.Execute(trainer, f)
+	})
 }
 
 // Release removes a flight from the in-flight set (its upload arrived, was
@@ -424,6 +617,10 @@ const (
 // update is non-nil only for Merged flights that trained successfully; the
 // caller applies any staleness discount to its weight before aggregating.
 func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
+	// Everything below reads the ledger view, not res directly: a
+	// cancelled flight whose worker is still running must be recordable
+	// without racing it (Dispatch falls back to the plan view then, which
+	// carries identical values for every field these outcomes read).
 	d := f.Dispatch()
 	if oc == Dropped {
 		// The server never saw the upload: nothing is known beyond the
@@ -433,7 +630,7 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 		s.tables.RecordDispatch(f.Slot.Sent, s.pool.Smallest(), f.Slot.Client)
 		return d, nil
 	}
-	if f.res.failed {
+	if d.Failed {
 		// Nothing came back; the dispatch was pure waste. Record the
 		// smallest member as the observed return for the tables so the
 		// selector learns to avoid this client for large models.
@@ -442,11 +639,13 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 	}
 	// The upload arrived (possibly late): the returned member is a
 	// truthful capacity observation either way.
-	s.tables.RecordDispatch(f.Slot.Sent, f.res.got, f.Slot.Client)
+	s.tables.RecordDispatch(f.Slot.Sent, d.Got, f.Slot.Client)
 	if oc == Late {
 		d.Late = true
 		return d, nil
 	}
+	// Merged outcomes consume the trained state: the caller must have
+	// joined the execution (Wait) before recording a merge.
 	return d, &agg.Update{State: f.res.state, Weight: float64(f.res.samples)}
 }
 
@@ -490,41 +689,39 @@ func (s *Server) Round() error {
 	if err != nil {
 		return fmt.Errorf("core: round %d %w", round, err)
 	}
-	k := len(slots)
-	par := s.cfg.Parallelism
-	if par <= 0 || par > k {
-		par = k
-	}
-	flights := make([]*Flight, k)
+	flights := make([]*Flight, len(slots))
 	for i, sl := range slots {
 		flights[i] = s.OpenFlight(sl)
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
 	for _, f := range flights {
-		wg.Add(1)
-		go func(f *Flight) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s.Execute(trainer, f)
-		}(f)
+		s.ExecuteAsync(s.exec, trainer, f)
 	}
-	wg.Wait()
 
-	// Collect — RL table updates, ledger, aggregation, in slot order.
+	// Collect — RL table updates, ledger, aggregation, in slot order. On a
+	// training error, keep draining: every flight must still be joined and
+	// released so no execution outlives Round (a leftover worker would race
+	// the next round's capacity draws) and the in-flight set empties.
 	stats := RoundStats{Round: round}
 	var updates []agg.Update
+	var firstErr error
 	for _, f := range flights {
+		f.Wait()
 		s.Release(f)
+		if firstErr != nil {
+			continue
+		}
 		if err := f.Err(); err != nil {
-			return fmt.Errorf("core: round %d client %d: %w", round, f.Slot.Client, err)
+			firstErr = fmt.Errorf("core: round %d client %d: %w", round, f.Slot.Client, err)
+			continue
 		}
 		d, u := s.Record(f, Merged)
 		stats.Add(d)
 		if u != nil {
 			updates = append(updates, *u)
 		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	s.stats = append(s.stats, stats)
 	if err := s.ApplyUpdates(updates); err != nil {
@@ -542,12 +739,16 @@ type preDecodedTrainer interface {
 }
 
 // trainSlot performs Step 4/5 for one dispatch, delegating to the given
-// Trainer (built once per round).
-func (s *Server) trainSlot(trainer Trainer, clientID int, sent prune.Submodel, seed int64) localResult {
+// Trainer (built once per round). The dispatch state comes from the
+// flight's captured snapshot, so lazily executed flights train on the
+// weights they were cut from even if later aggregations have moved the
+// server's state on.
+func (s *Server) trainSlot(trainer Trainer, f *Flight) localResult {
+	clientID, sent, seed := f.Slot.Client, f.Slot.Sent, f.Slot.Seed
 	var st nn.State
 	if pd, ok := trainer.(preDecodedTrainer); !ok || !pd.PreDecodedFor(sent.Index) {
 		var err error
-		if st, err = s.pool.ExtractState(s.global, sent); err != nil {
+		if st, err = s.pool.ExtractState(f.global, sent); err != nil {
 			return localResult{err: err}
 		}
 	}
@@ -560,6 +761,34 @@ func (s *Server) trainSlot(trainer Trainer, clientID int, sent prune.Submodel, s
 	}
 	return localResult{state: res.State, samples: res.Samples, got: res.Got,
 		sentBytes: res.SentBytes, gotBytes: res.GotBytes, codec: res.CodecTag}
+}
+
+// trainPlanned executes a planned flight: the capacity draw already
+// happened at Plan time, so training goes straight to the resolved member.
+func (s *Server) trainPlanned(lt localTrainer, f *Flight) localResult {
+	pl := f.plan
+	if pl.Failed {
+		return localResult{failed: true, got: f.Slot.Sent, sentBytes: pl.SentBytes, codec: pl.Codec}
+	}
+	var sentState nn.State
+	if s.cfg.Codec != nil {
+		pd, err := lt.preFor(f.Slot.Sent, f.global)
+		if err != nil {
+			return localResult{err: err}
+		}
+		sentState = pd.state
+	} else {
+		var err error
+		if sentState, err = s.pool.ExtractState(f.global, f.Slot.Sent); err != nil {
+			return localResult{err: err}
+		}
+	}
+	state, gotBytes, samples, err := lt.trainGot(f.Slot.Client, pl.Got, sentState, f.Slot.Seed)
+	if err != nil {
+		return localResult{err: err}
+	}
+	return localResult{state: state, samples: samples, got: pl.Got,
+		sentBytes: pl.SentBytes, gotBytes: gotBytes, codec: pl.Codec}
 }
 
 // preDispatch is one pre-encoded dispatch: the wire size and the decoded
@@ -594,6 +823,58 @@ func (lt localTrainer) PreDecodedFor(memberIndex int) bool {
 	defer lt.mu.Unlock()
 	_, ok := lt.pre[memberIndex]
 	return ok
+}
+
+// preFor returns the memoized codec round-trip for a pool member,
+// extracting from the given snapshot and encoding on first use. Only
+// valid with a codec configured.
+func (lt localTrainer) preFor(sub prune.Submodel, global nn.State) (preDispatch, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if d, ok := lt.pre[sub.Index]; ok {
+		return d, nil
+	}
+	st, err := lt.s.pool.ExtractState(global, sub)
+	if err != nil {
+		return preDispatch{}, fmt.Errorf("extract %s: %w", sub.Name(), err)
+	}
+	c := lt.s.cfg.Codec
+	enc, err := c.Encode(st, nil)
+	if err != nil {
+		return preDispatch{}, fmt.Errorf("encode %s: %w", sub.Name(), err)
+	}
+	dec, err := c.Decode(enc, nil)
+	if err != nil {
+		return preDispatch{}, fmt.Errorf("decode %s: %w", sub.Name(), err)
+	}
+	d := preDispatch{bytes: int64(len(enc)), state: dec}
+	lt.pre[sub.Index] = d
+	return d, nil
+}
+
+// trainGot runs local training of the resolved pool member and, with a
+// codec configured, round-trips the upload through the wire encoding.
+func (lt localTrainer) trainGot(clientID int, got prune.Submodel, sentState nn.State, seed int64) (nn.State, int64, int, error) {
+	client := lt.s.clients[clientID]
+	rng := rand.New(rand.NewSource(seed))
+	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var gotBytes int64
+	if c := lt.s.cfg.Codec; c != nil {
+		// The uplink reference is the decoded dispatched state — the same
+		// tensor a device agent would diff against.
+		enc, err := c.Encode(trained, sentState)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		gotBytes = int64(len(enc))
+		if trained, err = c.Decode(enc, sentState); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return trained, gotBytes, client.Data.Len(), nil
 }
 
 // TrainDispatch implements Trainer. With a codec configured, the dispatch
@@ -635,25 +916,12 @@ func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentStat
 	if !ok {
 		return TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: tag}, nil
 	}
-	rng := rand.New(rand.NewSource(seed))
-	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
+	state, gotBytes, samples, err := lt.trainGot(clientID, got, sentState, seed)
 	if err != nil {
 		return TrainResult{}, err
 	}
-	res := TrainResult{State: trained, Samples: client.Data.Len(), Got: got, SentBytes: sentBytes, CodecTag: tag}
-	if c := lt.s.cfg.Codec; c != nil {
-		// The uplink reference is the decoded dispatched state — the same
-		// tensor a device agent would diff against.
-		enc, err := c.Encode(trained, sentState)
-		if err != nil {
-			return TrainResult{}, err
-		}
-		res.GotBytes = int64(len(enc))
-		if res.State, err = c.Decode(enc, sentState); err != nil {
-			return TrainResult{}, err
-		}
-	}
-	return res, nil
+	return TrainResult{State: state, Samples: samples, Got: got,
+		SentBytes: sentBytes, GotBytes: gotBytes, CodecTag: tag}, nil
 }
 
 // Run executes rounds and invokes cb (if non-nil) after each; cb returning

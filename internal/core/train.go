@@ -32,15 +32,21 @@ func (tc *TrainConfig) validate() error {
 	return nil
 }
 
-// TrainLocal builds a model at the given widths, loads the (prefix-sliced)
-// state, runs LocalEpochs of SGD over the dataset and returns the trained
+// TrainLocal loads the (prefix-sliced) state into a model at the given
+// widths, runs LocalEpochs of SGD over the dataset and returns the trained
 // state. It is the LocalTrain(.) of Algorithm 1 and is shared by every
-// baseline.
+// baseline. The model and optimizer come from a rented training arena:
+// repeated trainings of the same construction reuse one set of parameter,
+// gradient and momentum tensors instead of rebuilding them per dispatch —
+// bit-identical to a fresh build (LoadState overwrites every parameter and
+// buffer, gradients are zeroed per batch, SGD.Reset zeroes the momentum).
 func TrainLocal(mcfg models.Config, widths []int, st nn.State, ds *data.Dataset, tc TrainConfig, rng *rand.Rand) (nn.State, error) {
 	if err := tc.validate(); err != nil {
 		return nil, err
 	}
-	model, err := models.Build(mcfg, widths)
+	a := rentArena()
+	defer returnArena(a)
+	model, params, opt, err := a.modelFor(mcfg, widths, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -51,15 +57,14 @@ func TrainLocal(mcfg models.Config, widths []int, st nn.State, ds *data.Dataset,
 	if err := nn.LoadState(model, sliced); err != nil {
 		return nil, err
 	}
-	opt := nn.NewSGD(tc.LR, tc.Momentum, tc.WeightDecay)
 	for epoch := 0; epoch < tc.LocalEpochs; epoch++ {
 		for _, batch := range ds.Batches(rng, tc.BatchSize) {
 			x, labels := ds.Gather(batch)
-			nn.ZeroGrads(model)
+			nn.ZeroGradParams(params)
 			logits := model.Forward(x, true)
 			_, grad := nn.CrossEntropy(logits, labels)
 			model.Backward(grad)
-			opt.Step(model.Params())
+			opt.Step(params)
 		}
 	}
 	return nn.StateDict(model), nil

@@ -16,6 +16,7 @@ package fednet
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -279,6 +280,61 @@ type HTTPTrainer struct {
 	// instances remembers each agent's instance ID; a changed ID means the
 	// agent restarted and its negotiation may be stale.
 	instances map[int]string
+	// refCache memoizes decoded downlink references, keyed by codec tag +
+	// payload digest. Reference-using uploads (delta) diff against the
+	// agent's decode of the dispatch, which the server reconstructs by
+	// decoding the same payload — once per dispatch before this cache,
+	// even though every dispatch of a pool member within one global
+	// snapshot carries identical bytes. Content addressing makes a stale
+	// hit impossible no matter how the trainer is driven; RoundStart
+	// (core.RoundStarter) clears the map at each new snapshot so it stays
+	// one round's members big.
+	refCache map[refKey]nn.State
+	// refVersion is the snapshot version refCache was built against.
+	refVersion int
+}
+
+// refKey addresses one decoded downlink reference by codec and payload
+// content.
+type refKey struct {
+	tag    string
+	digest [sha256.Size]byte
+}
+
+// RoundStart implements core.RoundStarter: the server announces the
+// snapshot a round trains from, so cached downlink references are
+// evicted when — and only when — the snapshot actually changed (a round
+// that merged nothing keeps its version, and its payloads stay hot).
+func (t *HTTPTrainer) RoundStart(version int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if version != t.refVersion {
+		t.refCache = nil
+		t.refVersion = version
+	}
+}
+
+// downRef returns the decoded reference for an encoded downlink payload,
+// decoding on first use per (codec, payload) within the current round.
+func (t *HTTPTrainer) downRef(codec wire.Codec, down []byte) (nn.State, error) {
+	key := refKey{tag: codec.Tag(), digest: sha256.Sum256(down)}
+	t.mu.Lock()
+	ref, ok := t.refCache[key]
+	t.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	ref, err := codec.Decode(down, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.refCache == nil {
+		t.refCache = map[refKey]nn.State{}
+	}
+	t.refCache[key] = ref
+	t.mu.Unlock()
+	return ref, nil
 }
 
 // NewHTTPTrainer builds a trainer for the given agent endpoints.
@@ -438,8 +494,9 @@ func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState 
 	}
 	var ref nn.State
 	if upCodec.UsesRef() {
-		// Reconstruct the agent's reference — its decode of the dispatch.
-		if ref, err = codec.Decode(down, nil); err != nil {
+		// Reconstruct the agent's reference — its decode of the dispatch —
+		// memoized per payload for the current round.
+		if ref, err = t.downRef(codec, down); err != nil {
 			return core.TrainResult{}, httpResp.StatusCode, err
 		}
 	}
@@ -458,3 +515,4 @@ func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState 
 }
 
 var _ core.Trainer = (*HTTPTrainer)(nil)
+var _ core.RoundStarter = (*HTTPTrainer)(nil)

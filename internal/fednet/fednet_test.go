@@ -3,6 +3,7 @@ package fednet
 import (
 	"math/rand"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"adaptivefl/internal/core"
@@ -338,3 +339,65 @@ func buildGlobal(t *testing.T, mcfg models.Config) nn.State {
 
 // encodeState wraps persist.EncodeToBytes for tests.
 func encodeState(st nn.State) ([]byte, error) { return persist.EncodeToBytes(st) }
+
+// countingCodec wraps a codec and counts Decode calls; embedding keeps the
+// tag, so agents resolve the real codec from the registry while the
+// trainer's own decodes go through the wrapper.
+type countingCodec struct {
+	wire.Codec
+	decodes *int32
+}
+
+func (c countingCodec) Decode(b []byte, ref nn.State) (nn.State, error) {
+	atomic.AddInt32(c.decodes, 1)
+	return c.Codec.Decode(b, ref)
+}
+
+// TestDownlinkRefCachedPerRound pins the RoundStart hook: with a
+// reference-using codec (delta), the trainer reconstructs the agent's
+// decode of the dispatch to resolve sparse uploads. Within one round the
+// decode must happen once per distinct payload, however many dispatches
+// carry it; a new round (new global snapshot) decodes afresh.
+func TestDownlinkRefCachedPerRound(t *testing.T) {
+	mcfg := testModelCfg()
+	clients := buildClients(t, 1)
+	clients[0].Device.Jitter = 0
+	agent, err := NewAgent(clients[0], mcfg, prune.Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(agent)
+	defer ts.Close()
+
+	pool := agent.Pool
+	delta, err := wire.ByTag(wire.TagDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decodes int32
+	tr := NewHTTPTrainer([]string{ts.URL}, pool, quickTrain())
+	tr.Codec = countingCodec{Codec: delta, decodes: &decodes}
+
+	global := buildGlobal(t, mcfg)
+	sent := pool.Smallest()
+	st, err := pool.ExtractState(global, sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RoundStart(0)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainDispatch(0, sent, st, int64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt32(&decodes); got != 1 {
+		t.Fatalf("round decoded the downlink reference %d times, want 1", got)
+	}
+	tr.RoundStart(1)
+	if _, err := tr.TrainDispatch(0, sent, st, 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&decodes); got != 2 {
+		t.Fatalf("after RoundStart the reference was not re-decoded (total %d decodes, want 2)", got)
+	}
+}

@@ -145,7 +145,13 @@ func (st State) NumParams() int {
 
 // ZeroGrads clears the gradient of every trainable parameter of l.
 func ZeroGrads(l Layer) {
-	for _, p := range l.Params() {
+	ZeroGradParams(l.Params())
+}
+
+// ZeroGradParams clears the gradients of a pre-collected parameter slice,
+// for hot loops that hoist Params() out of the per-batch path.
+func ZeroGradParams(params []*Param) {
+	for _, p := range params {
 		if !p.Buffer {
 			p.Grad.Zero()
 		}

@@ -48,7 +48,12 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	if train {
 		b.in = x
-		b.xhat = tensor.New(n, c, h, w)
+		// Reuse the normalised-activation cache across steps (and across
+		// the dispatches of an arena-recycled model): every element is
+		// overwritten below before Backward reads it.
+		if b.xhat == nil || !tensor.SameShape(b.xhat, x) {
+			b.xhat = tensor.New(n, c, h, w)
+		}
 		if cap(b.invStd) < c {
 			b.invStd = make([]float64, c)
 		}

@@ -20,6 +20,16 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 		velocity: make(map[*Param]*tensor.Tensor)}
 }
 
+// Reset zeroes the momentum state so a recycled optimizer behaves exactly
+// like a freshly constructed one. Training arenas (internal/core) reuse an
+// SGD instance across the dispatches a worker executes; Reset is what
+// keeps that reuse bit-identical to building a new optimizer per dispatch.
+func (o *SGD) Reset() {
+	for _, v := range o.velocity {
+		v.Zero()
+	}
+}
+
 // Step applies one update to every trainable parameter and leaves
 // gradients untouched (call ZeroGrads before the next backward pass).
 func (o *SGD) Step(params []*Param) {

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sync"
 
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
@@ -60,8 +59,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -77,6 +76,10 @@ type Engine struct {
 	srv   *core.Server
 	cost  CostModel
 	trace Trace
+	// exec runs flight trainings off the event loop: dispatches enqueue
+	// lazily and the arrival event joins the result, so the virtual clock
+	// advances while workers train (see launchFlights).
+	exec *core.Executor
 
 	clock  float64
 	seq    int64
@@ -112,7 +115,11 @@ func New(srv *core.Server, cost CostModel, trace Trace, cfg Config) (*Engine, er
 	if cfg.K > len(srv.Clients()) {
 		return nil, fmt.Errorf("sched: K=%d exceeds population %d", cfg.K, len(srv.Clients()))
 	}
-	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, busy: map[int]bool{}}, nil
+	exec := srv.Executor()
+	if cfg.Parallelism > 0 {
+		exec = core.NewExecutor(cfg.Parallelism)
+	}
+	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, exec: exec, busy: map[int]bool{}}, nil
 }
 
 // Clock returns the current virtual time in seconds.
@@ -204,33 +211,119 @@ func (e *Engine) trainEnd(c int, t, work float64) (end float64, dropped bool) {
 	return t, false
 }
 
-// schedule prices an executed flight and enqueues its completion (or
-// dropout) event: download, then training integrated across the trace's
-// speed segments (a flight crossing into a slowed segment is charged the
-// slow rate for exactly the span it overlaps), then upload. The flight
-// drops at the first moment its client is offline. The caller verified
-// the client is up at the current clock.
-func (e *Engine) schedule(cf *core.Flight) *flight {
-	d := cf.Dispatch()
-	cl := e.srv.Clients()[d.Client]
-	down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
-	t, dropped := e.transferEnd(d.Client, e.clock, down)
-	if !dropped {
-		t, dropped = e.trainEnd(d.Client, t, train)
+// launchFlights prices and lazily executes a burst of opened flights, in
+// slot order, at the current virtual time. Pricing is staged around what
+// is knowable without the trained result:
+//
+//   - A plannable flight (in-process trainer) prices its download and
+//     training phases from the plan alone. If the client drops before the
+//     upload, the fate is sealed and training is skipped entirely — the
+//     eager engine used to train these and discard the result unread.
+//   - With the upload priceable too (parameter estimate, or a failed
+//     dispatch echoing the sent size), the completion event is queued
+//     immediately and training runs lazily in the background; the event
+//     that consumes the result joins it (Engine.join).
+//   - A codec-sized upload of a surviving flight depends on the trained
+//     values, so those flights (and flights of unplannable trainers,
+//     which own the pruning decision) are joined here, after every
+//     flight's training has been enqueued — the joins overlap across the
+//     burst instead of serialising it.
+//
+// Events are pushed and dispatch lines logged in slot order, so the event
+// log is bit-identical to the eager engine's.
+func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*flight, error) {
+	fls := make([]*flight, len(open))
+	plans := make([]*core.FlightPlan, len(open))
+	needJoin := make([]bool, len(open))
+	uploadAt := make([]float64, len(open))
+	for i, cf := range open {
+		pl, err := e.srv.Plan(trainer, cf)
+		if err != nil {
+			return nil, fmt.Errorf("sched: t=%.3f %w", e.clock, err)
+		}
+		plans[i] = pl
+		if pl == nil {
+			e.srv.ExecuteAsync(e.exec, trainer, cf)
+			needJoin[i] = true
+			continue
+		}
+		d := cf.Dispatch() // the plan view: training has not run
+		c := d.Client
+		cl := e.srv.Clients()[c]
+		down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
+		t, dropped := e.transferEnd(c, e.clock, down)
+		if !dropped {
+			t, dropped = e.trainEnd(c, t, train)
+		}
+		switch {
+		case dropped:
+			e.srv.SkipFlight(cf)
+			fls[i] = &flight{f: cf, eta: t, drops: true}
+		case pl.Failed || pl.UpBytesKnown:
+			t2, dropped2 := e.transferEnd(c, t, up)
+			if dropped2 || pl.Failed {
+				e.srv.SkipFlight(cf)
+			} else {
+				e.srv.ExecuteAsync(e.exec, trainer, cf)
+			}
+			fls[i] = &flight{f: cf, eta: t2, drops: dropped2}
+		default:
+			e.srv.ExecuteAsync(e.exec, trainer, cf)
+			needJoin[i] = true
+			uploadAt[i] = t
+		}
+		if fls[i] != nil {
+			fls[i].d = cf.Dispatch()
+		}
 	}
-	if !dropped {
-		t, dropped = e.transferEnd(d.Client, t, up)
+	for i, cf := range open {
+		if needJoin[i] {
+			cf.Wait()
+			if err := cf.Err(); err != nil {
+				return nil, fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
+			}
+			d := cf.Dispatch()
+			cl := e.srv.Clients()[d.Client]
+			down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
+			var t float64
+			var dropped bool
+			if plans[i] != nil {
+				// Download and training were priced in the first pass; the
+				// join only supplied the upload size.
+				t, dropped = e.transferEnd(d.Client, uploadAt[i], up)
+			} else {
+				t, dropped = e.transferEnd(d.Client, e.clock, down)
+				if !dropped {
+					t, dropped = e.trainEnd(d.Client, t, train)
+				}
+				if !dropped {
+					t, dropped = e.transferEnd(d.Client, t, up)
+				}
+			}
+			fls[i] = &flight{f: cf, d: d, eta: t, drops: dropped}
+		}
+		fl := fls[i]
+		e.busy[fl.d.Client] = true
+		kind := evArrive
+		if fl.drops {
+			kind = evDrop
+		}
+		e.push(fl.eta, kind, fl)
+		e.logf("%.3f dispatch c%d %s eta=%.3f%s",
+			e.clock, fl.d.Client, fl.d.Sent.Name(), fl.eta, map[bool]string{true: " will-drop"}[fl.drops])
 	}
-	fl := &flight{f: cf, d: d, eta: t, drops: dropped}
-	kind := evArrive
-	if dropped {
-		kind = evDrop
+	return fls, nil
+}
+
+// join waits for a flight's pending training (a no-op for skipped or
+// already-joined flights) and surfaces its error. Events that consume the
+// trained result call it before recording.
+func (e *Engine) join(fl *flight) error {
+	fl.f.Wait()
+	if err := fl.f.Err(); err != nil {
+		return fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, fl.d.Client, err)
 	}
-	e.busy[d.Client] = true
-	e.push(fl.eta, kind, fl)
-	e.logf("%.3f dispatch c%d %s eta=%.3f%s",
-		e.clock, d.Client, d.Sent.Name(), fl.eta, map[bool]string{true: " will-drop"}[fl.drops])
-	return fl
+	return nil
 }
 
 // release hands the flight's client back to the selectable pool.
@@ -298,9 +391,8 @@ func (e *Engine) finishResidual(ev *event) {
 	e.logf("%.3f late-%s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
 }
 
-// launchBatch opens flights for the slots in order (deterministic IDs),
-// executes them concurrently bounded by Parallelism, and schedules their
-// completion events. Training errors surface immediately.
+// launchBatch opens flights for the slots in order (deterministic IDs)
+// and hands them to launchFlights.
 func (e *Engine) launchBatch(slots []core.Slot) ([]*flight, error) {
 	trainer, err := e.srv.RoundTrainer(slots)
 	if err != nil {
@@ -310,30 +402,7 @@ func (e *Engine) launchBatch(slots []core.Slot) ([]*flight, error) {
 	for i, sl := range slots {
 		open[i] = e.srv.OpenFlight(sl)
 	}
-	par := e.cfg.Parallelism
-	if par <= 0 || par > len(open) {
-		par = len(open)
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, cf := range open {
-		wg.Add(1)
-		go func(cf *core.Flight) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e.srv.Execute(trainer, cf)
-		}(cf)
-	}
-	wg.Wait()
-	fls := make([]*flight, len(open))
-	for i, cf := range open {
-		if err := cf.Err(); err != nil {
-			return nil, fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
-		}
-		fls[i] = e.schedule(cf)
-	}
-	return fls, nil
+	return e.launchFlights(trainer, open)
 }
 
 // commitRecorded applies one aggregation from finalised dispatches and
@@ -377,6 +446,9 @@ func (e *Engine) stepSync() (Commit, error) {
 	for remaining := len(fls); remaining > 0; remaining-- {
 		ev := e.pop()
 		e.clock = ev.t
+		if err := e.join(ev.fl); err != nil {
+			return Commit{}, err
+		}
 		e.release(ev.fl)
 		e.logf("%.3f %s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
 	}
@@ -444,6 +516,9 @@ func (e *Engine) stepDeadline() (Commit, error) {
 			e.finishResidual(ev)
 			continue
 		}
+		if err := e.join(ev.fl); err != nil {
+			return Commit{}, err
+		}
 		e.release(ev.fl)
 		e.logf("%.3f %s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
 		if thisRound[ev.fl] {
@@ -464,7 +539,12 @@ func (e *Engine) stepDeadline() (Commit, error) {
 		case fl.drops:
 			oc = core.Dropped
 		default:
+			// A straggler ledgered Late at close: its upload is discarded,
+			// so a training still queued behind a worker is abandoned (the
+			// ledger view falls back to the plan, which carries identical
+			// fields for a discarded outcome).
 			oc = core.Late
+			fl.f.Cancel()
 		}
 		fl.recorded = true
 		d, u := e.srv.Record(fl.f, oc)
@@ -490,25 +570,34 @@ func (e *Engine) currentTrainer() (core.Trainer, error) {
 }
 
 // refill tops the in-flight set back up to K, one planned dispatch at a
-// time, among currently eligible clients.
+// time, among currently eligible clients. The burst's flights are opened
+// in plan order (deterministic IDs, rng stream identical to one-at-a-time
+// dispatching) and then launched together, so their trainings overlap on
+// the executor instead of serialising the refill.
 func (e *Engine) refill() error {
+	var open []*core.Flight
+	var trainer core.Trainer
 	for e.srv.InFlight() < e.cfg.K {
 		slots := e.srv.PlanSlots(1, e.eligible)
 		if len(slots) == 0 {
-			return nil // nobody dispatchable right now
+			break // nobody dispatchable right now
 		}
-		trainer, err := e.currentTrainer()
-		if err != nil {
-			return fmt.Errorf("sched: t=%.3f %w", e.clock, err)
+		if trainer == nil {
+			var err error
+			if trainer, err = e.currentTrainer(); err != nil {
+				return fmt.Errorf("sched: t=%.3f %w", e.clock, err)
+			}
 		}
-		cf := e.srv.OpenFlight(slots[0])
-		e.srv.Execute(trainer, cf)
-		if err := cf.Err(); err != nil {
-			return fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
-		}
-		e.schedule(cf)
+		// Mark the client busy immediately so the next PlanSlots cannot
+		// re-pick it (launchFlights marks it again, idempotently).
+		e.busy[slots[0].Client] = true
+		open = append(open, e.srv.OpenFlight(slots[0]))
 	}
-	return nil
+	if len(open) == 0 {
+		return nil
+	}
+	_, err := e.launchFlights(trainer, open)
+	return err
 }
 
 // stepSemiAsync advances the buffered-asynchronous stream until the next
@@ -544,6 +633,9 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 			e.accum.Add(d)
 			e.logf("%.3f drop c%d %s", e.clock, ev.fl.d.Client, ev.fl.d.Sent.Name())
 			continue
+		}
+		if err := e.join(ev.fl); err != nil {
+			return Commit{}, err
 		}
 		stale := e.srv.Staleness(ev.fl.f)
 		d, u := e.srv.Record(ev.fl.f, core.Merged)

@@ -81,8 +81,11 @@ type Config struct {
 	StalenessExp float64
 	// Epochs is the local-epoch count the cost model charges training at.
 	Epochs int
-	// Parallelism bounds concurrent local-training executions when a
-	// whole round is launched at once (sync, deadline). 0 means K+Extra.
+	// Parallelism bounds concurrent local-training executions on the
+	// engine's worker pool (flights of every policy train lazily off the
+	// event loop and are joined at their completion events). 0 shares the
+	// server's executor, whose default width is GOMAXPROCS. Results are
+	// bit-identical at any setting; only wall-clock changes.
 	Parallelism int
 }
 

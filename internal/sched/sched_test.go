@@ -237,7 +237,10 @@ func TestStragglerPolicies(t *testing.T) {
 // ledger as waste.
 func TestChurnTraceCompletes(t *testing.T) {
 	srv := buildServer(t, 6, 3, 53)
-	trace := &sched.RandomTrace{Seed: 3, MeanOn: 10, MeanOff: 10, SlowProb: 0.5, SlowFactor: 5}
+	// Short on-windows and heavy slowdowns so mid-flight dropouts occur
+	// even in the -short run (the lazy-execution assertions below need at
+	// least one drop).
+	trace := &sched.RandomTrace{Seed: 2, MeanOn: 2, MeanOff: 3, SlowProb: 0.6, SlowFactor: 10}
 	eng, err := sched.New(srv, testSim(t), trace, sched.Config{
 		Policy: sched.SemiAsync, K: 3, Buffer: 2, Epochs: 1,
 	})
@@ -261,11 +264,81 @@ func TestChurnTraceCompletes(t *testing.T) {
 	if len(stats) != commits {
 		t.Fatalf("ledger has %d entries, want %d", len(stats), commits)
 	}
+	// Lazy execution: a dropped flight's result is discarded unread, so the
+	// engine must not have burned training compute on it — every drop is
+	// ledgered TrainSkipped (no codec is in play, so upload pricing never
+	// needs the trained result) and the totals line up.
+	drops, skips := 0, 0
 	for _, st := range stats {
+		skips += st.TrainSkipped
 		for _, d := range st.Dispatches {
 			if d.Dropped && d.GotBytes != 0 {
 				t.Fatalf("dropped dispatch charged uplink bytes: %+v", d)
 			}
+			// Capacity-failed flights never had training to skip, so the
+			// engine's guarantee covers non-failed drops only.
+			if d.Dropped && !d.Failed {
+				drops++
+				if !d.TrainSkipped {
+					t.Fatalf("dropped dispatch trained anyway: %+v", d)
+				}
+			}
+			if d.TrainSkipped && !(d.Dropped && !d.Failed) {
+				t.Fatalf("dispatch marked TrainSkipped without a non-failed drop: %+v", d)
+			}
+		}
+	}
+	if drops == 0 {
+		t.Fatal("churn trace produced no drops — pick another seed")
+	}
+	if skips != drops {
+		t.Fatalf("ledger counts %d skipped trainings, want %d (one per drop)", skips, drops)
+	}
+}
+
+// TestSerialParallelBitIdentity is the executor's determinism bar: a
+// serial engine (Parallelism=1) and a wide one (Parallelism=8) must
+// produce identical event logs, ledgers, RL tables and global weights for
+// every policy under a churny trace — parallel lazy execution may only
+// change wall-clock, never results. Run with -race, this also shakes out
+// synchronization bugs in the join/cancel paths.
+func TestSerialParallelBitIdentity(t *testing.T) {
+	commits := 3
+	if testing.Short() {
+		commits = 2
+	}
+	for _, policy := range []sched.Policy{sched.Sync, sched.Deadline, sched.SemiAsync} {
+		run := func(par int) ([]string, map[string]float64, []core.RoundStats, *core.Server) {
+			srv := buildServer(t, 6, 3, 43)
+			trace := &sched.RandomTrace{Seed: 99, MeanOn: 40, MeanOff: 5, SlowProb: 0.5, SlowFactor: 10}
+			eng, err := sched.New(srv, testSim(t), trace, sched.Config{
+				Policy: policy, K: 3, Extra: 2, Buffer: 2, Epochs: 1, Parallelism: par,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(commits, nil); err != nil {
+				t.Fatalf("%s par=%d: %v", policy, par, err)
+			}
+			return eng.Log(), globalSums(srv), srv.Stats(), srv
+		}
+		logS, sumsS, statsS, srvS := run(1)
+		logP, sumsP, statsP, srvP := run(8)
+		if !reflect.DeepEqual(logS, logP) {
+			t.Fatalf("%s: event logs differ between Parallelism=1 and 8:\nserial:   %s\nparallel: %s",
+				policy, strings.Join(logS, "\n          "), strings.Join(logP, "\n          "))
+		}
+		for name, v := range sumsS {
+			if sumsP[name] != v {
+				t.Fatalf("%s: parameter %q differs between serial and parallel runs", policy, name)
+			}
+		}
+		if !reflect.DeepEqual(statsS, statsP) {
+			t.Fatalf("%s: ledgers differ between serial and parallel runs:\nserial   %+v\nparallel %+v",
+				policy, statsS, statsP)
+		}
+		if !reflect.DeepEqual(srvS.Tables().Tr, srvP.Tables().Tr) || !reflect.DeepEqual(srvS.Tables().Tc, srvP.Tables().Tc) {
+			t.Fatalf("%s: RL tables differ between serial and parallel runs", policy)
 		}
 	}
 }
