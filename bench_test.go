@@ -501,6 +501,7 @@ func benchSchedRound(b *testing.B, policy sched.Policy) {
 	}
 }
 
-func BenchmarkSchedRound_Sync(b *testing.B)      { benchSchedRound(b, sched.Sync) }
-func BenchmarkSchedRound_Deadline(b *testing.B)  { benchSchedRound(b, sched.Deadline) }
-func BenchmarkSchedRound_Semiasync(b *testing.B) { benchSchedRound(b, sched.SemiAsync) }
+func BenchmarkSchedRound_Sync(b *testing.B)          { benchSchedRound(b, sched.Sync) }
+func BenchmarkSchedRound_Deadline(b *testing.B)      { benchSchedRound(b, sched.Deadline) }
+func BenchmarkSchedRound_DeadlineReuse(b *testing.B) { benchSchedRound(b, sched.DeadlineReuse) }
+func BenchmarkSchedRound_Semiasync(b *testing.B)     { benchSchedRound(b, sched.SemiAsync) }

@@ -18,26 +18,30 @@ import (
 	"adaptivefl/internal/baselines"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
+	"adaptivefl/internal/fednet"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/prune"
 	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
 )
 
 func main() {
 	var (
-		alg     = flag.String("alg", "AdaptiveFL", "algorithm: All-Large|Decoupled|HeteroFL|ScaleFL|AdaptiveFL|AdaptiveFL+{Greedy,Random,C,S,CS}|AdaptiveFL-Coarse")
-		dataset = flag.String("dataset", "cifar10", "dataset: cifar10|cifar100|femnist|widar")
-		arch    = flag.String("arch", "vgg16", "architecture: vgg16|resnet18|mobilenetv2")
-		dist    = flag.String("dist", "iid", "distribution: iid|dir0.6|dir0.3|natural")
-		scale   = flag.String("scale", "quick", "fidelity: quick|small|paper")
-		rounds  = flag.Int("rounds", 0, "override rounds")
-		clients = flag.Int("clients", 0, "override client population")
-		k       = flag.Int("k", 0, "override clients per round")
-		seed    = flag.Int64("seed", 0, "override seed")
-		codec   = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
-		schedP  = flag.String("sched", "", "aggregation policy: sync|deadline|semiasync (empty = legacy synchronous loop)")
-		par     = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
-		trace   = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
+		alg       = flag.String("alg", "AdaptiveFL", "algorithm: All-Large|Decoupled|HeteroFL|ScaleFL|AdaptiveFL|AdaptiveFL+{Greedy,Random,C,S,CS}|AdaptiveFL-Coarse")
+		dataset   = flag.String("dataset", "cifar10", "dataset: cifar10|cifar100|femnist|widar")
+		arch      = flag.String("arch", "vgg16", "architecture: vgg16|resnet18|mobilenetv2")
+		dist      = flag.String("dist", "iid", "distribution: iid|dir0.6|dir0.3|natural")
+		scale     = flag.String("scale", "quick", "fidelity: quick|small|paper")
+		rounds    = flag.Int("rounds", 0, "override rounds")
+		clients   = flag.Int("clients", 0, "override client population")
+		k         = flag.Int("k", 0, "override clients per round")
+		seed      = flag.Int64("seed", 0, "override seed")
+		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
+		schedP    = flag.String("sched", "", "aggregation policy: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
+		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
+		trace     = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
+		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
+		useFednet = flag.Bool("fednet", false, "dispatch through real loopback HTTP agents (fednet.Cluster) instead of in-process training")
 	)
 	flag.Parse()
 
@@ -86,10 +90,46 @@ func main() {
 	} else if *trace != "" {
 		fatal(fmt.Errorf("-trace requires -sched"))
 	}
+	if *estimate {
+		if sc.Codec == "" {
+			fatal(fmt.Errorf("-wire-estimate requires -codec (the parameter estimate already prices codec-less flights)"))
+		}
+		if *useFednet {
+			// Real agents answer with real payloads; there is nothing lazy
+			// to unlock and the plan-time estimate path is in-process only.
+			fatal(fmt.Errorf("-wire-estimate applies to in-process runs, not -fednet"))
+		}
+		sc.EstimateUp = true
+	}
 
 	fed, err := exp.BuildFederation(models.Arch(*arch), *dataset, exp.Dist(*dist), exp.DefaultProportions, sc)
 	if err != nil {
 		fatal(err)
+	}
+	if *useFednet {
+		// Real transport: one loopback HTTP agent per client, the trainer
+		// POSTing every dispatch. The AdaptiveFL pool (p=3) must match the
+		// agents' — variants with a different pool cannot ride this path.
+		if *alg != "AdaptiveFL" && !strings.HasPrefix(*alg, "AdaptiveFL+") {
+			fatal(fmt.Errorf("-fednet applies to AdaptiveFL (p=3) variants only (got -alg %s)", *alg))
+		}
+		cluster, err := fednet.NewCluster(fed.Clients, fed.Model, prune.Config{P: 3}, sc.TrainConfig())
+		if err != nil {
+			fatal(err)
+		}
+		defer cluster.Close()
+		if sc.Codec != "" {
+			c, err := wire.ByTag(sc.Codec)
+			if err != nil {
+				fatal(err)
+			}
+			// Negotiate rather than force: the run exercises the same
+			// GET /train handshake a heterogeneous fleet would.
+			cluster.Trainer.Negotiate(c)
+		}
+		sc.Trainer = cluster.Trainer
+		fmt.Printf("fednet: %d loopback agents spawned (codec=%q negotiated per agent)\n",
+			len(cluster.Agents), sc.Codec)
 	}
 	runner, err := exp.NewRunner(*alg, fed, sc)
 	if err != nil {
@@ -110,18 +150,43 @@ func main() {
 	adaptive, ok := runner.(*baselines.Adaptive)
 	if sa, isSched := runner.(*baselines.SchedAdaptive); isSched {
 		adaptive, ok = sa.Adaptive, true
-		last := sa.Eng.Commits()
-		fmt.Printf("simulated wall-clock (policy=%s, trace=%q): %.1fs over %d aggregations\n",
-			sc.Sched, sc.Trace, sa.SimTime(), len(last))
+		commits := sa.Eng.Commits()
+		reused := 0
+		for _, c := range commits {
+			reused += c.LateReused
+		}
+		fmt.Printf("simulated wall-clock (policy=%s, trace=%q): %.1fs over %d aggregations",
+			sc.Sched, sc.Trace, sa.SimTime(), len(commits))
+		if reused > 0 {
+			fmt.Printf(", %d late uploads reused", reused)
+		}
+		fmt.Println()
 	}
 	if ok {
 		fmt.Printf("communication waste: %.2f%%\n", adaptive.Waste()*100)
-		if sc.Codec != "" {
+		if sc.Codec != "" || *useFednet {
 			sent, back := core.TotalWireBytes(adaptive.Srv.Stats())
 			fmt.Printf("wire bytes (codec=%s): %.2f MB down, %.2f MB up\n",
 				sc.Codec, float64(sent)/1e6, float64(back)/1e6)
 		}
+		if sc.EstimateUp {
+			var est int64
+			for _, st := range adaptive.Srv.Stats() {
+				est += st.ReturnedBytesEst
+			}
+			_, back := core.TotalWireBytes(adaptive.Srv.Stats())
+			fmt.Printf("uplink pricing: %.2f MB estimated vs %.2f MB actual (%+.1f%%)\n",
+				float64(est)/1e6, float64(back)/1e6, pctDelta(est, back))
+		}
 	}
+}
+
+// pctDelta returns the estimate's relative error versus actual, in percent.
+func pctDelta(est, actual int64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return 100 * (float64(est) - float64(actual)) / float64(actual)
 }
 
 func fatal(err error) {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, f schedBenchFile) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareSchedBench pins the regression gate: within tolerance
+// passes, past tolerance fails naming the policy, and a policy without a
+// baseline entry (newly added) never fails the run.
+func TestCompareSchedBench(t *testing.T) {
+	base := schedBenchFile{
+		GOMAXPROCS: 1,
+		Policies: map[string]schedBenchResult{
+			"sync":     {NsPerRound: 1000},
+			"deadline": {NsPerRound: 1000},
+		},
+	}
+	path := writeBaseline(t, base)
+
+	ok := schedBenchFile{GOMAXPROCS: 1, Policies: map[string]schedBenchResult{
+		"sync":           {NsPerRound: 1200}, // +20%, inside 25%
+		"deadline":       {NsPerRound: 900},  // faster
+		"deadline-reuse": {NsPerRound: 9999}, // no baseline: reported, not failed
+	}}
+	if err := compareSchedBench(path, ok, 0.25); err != nil {
+		t.Fatalf("within-tolerance comparison failed: %v", err)
+	}
+
+	bad := schedBenchFile{GOMAXPROCS: 1, Policies: map[string]schedBenchResult{
+		"sync":     {NsPerRound: 1300}, // +30%, past 25%
+		"deadline": {NsPerRound: 1000},
+	}}
+	err := compareSchedBench(path, bad, 0.25)
+	if err == nil {
+		t.Fatal("regression past tolerance did not fail")
+	}
+	if !strings.Contains(err.Error(), "sync") {
+		t.Fatalf("failure does not name the regressed policy: %v", err)
+	}
+
+	if err := compareSchedBench(filepath.Join(t.TempDir(), "missing.json"), ok, 0.25); err == nil {
+		t.Fatal("missing baseline file did not fail")
+	}
+
+	// A GOMAXPROCS mismatch means the two measurements came from different
+	// machine configurations: the comparison turns advisory and must not
+	// fail, however large the delta.
+	crossMachine := schedBenchFile{GOMAXPROCS: 4, Policies: map[string]schedBenchResult{
+		"sync": {NsPerRound: 5000}, // 5x "regression", but cross-configuration
+	}}
+	if err := compareSchedBench(path, crossMachine, 0.25); err != nil {
+		t.Fatalf("cross-GOMAXPROCS comparison failed hard instead of advising: %v", err)
+	}
+}

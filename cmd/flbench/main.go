@@ -6,7 +6,12 @@
 //
 //	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all \
 //	        -scale quick|small|paper [-dataset cifar10,...] [-arch vgg16,...] \
-//	        [-sched sync|deadline|semiasync] [-trace straggler|churn|always]
+//	        [-sched sync|deadline|deadline-reuse|semiasync] \
+//	        [-trace straggler|churn|always] [-codec q8 [-wire-estimate]]
+//
+// With -bench-json the scheduler policies are measured (ns/round,
+// allocs/round) instead; -bench-baseline diffs the fresh numbers against a
+// committed baseline and exits non-zero past -bench-tol regression.
 package main
 
 import (
@@ -16,7 +21,6 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"testing"
 	"time"
 
 	"adaptivefl/internal/exp"
@@ -27,16 +31,19 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all")
-		scale    = flag.String("scale", "quick", "fidelity: quick|small|paper")
-		datasets = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
-		archs    = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
-		dists    = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
-		codec    = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
-		schedP   = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|semiasync (empty = legacy synchronous loop)")
-		trace    = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...])")
-		par      = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
-		benchOut = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
+		expName   = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all")
+		scale     = flag.String("scale", "quick", "fidelity: quick|small|paper")
+		datasets  = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
+		archs     = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
+		dists     = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
+		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
+		schedP    = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
+		trace     = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...])")
+		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
+		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
+		benchOut  = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
+		benchBase = flag.String("bench-baseline", "", "with -bench-json: compare the fresh measurements against this committed baseline and fail on regression")
+		benchTol  = flag.Float64("bench-tol", 0.25, "with -bench-baseline: allowed relative ns/round regression before failing (0.25 = +25%)")
 	)
 	flag.Parse()
 
@@ -47,9 +54,21 @@ func main() {
 	if *par > 0 {
 		sc.Parallelism = *par
 	}
+	if *estimate {
+		if *codec == "" {
+			fatal(fmt.Errorf("-wire-estimate requires -codec"))
+		}
+		sc.EstimateUp = true
+	}
 	if *benchOut != "" {
-		if err := writeSchedBench(*benchOut, sc); err != nil {
+		fresh, err := writeSchedBench(*benchOut, sc)
+		if err != nil {
 			fatal(err)
+		}
+		if *benchBase != "" {
+			if err := compareSchedBench(*benchBase, fresh, *benchTol); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -172,10 +191,70 @@ type schedBenchFile struct {
 	Policies    map[string]schedBenchResult `json:"policies"`
 }
 
+// compareSchedBench diffs a fresh measurement against a committed
+// baseline: any policy present in both whose ns/round grew by more than
+// tol (relative) fails the run. Policies only in the fresh file (a newly
+// added policy has no baseline yet) are reported but never fail. A
+// GOMAXPROCS mismatch makes the whole comparison advisory — the two
+// numbers were produced by different machine configurations, so a hard
+// gate would measure the hardware delta, not a code regression; the gate
+// arms itself again once the baseline is re-recorded at the runner's
+// configuration.
+func compareSchedBench(baselinePath string, fresh schedBenchFile, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base schedBenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", baselinePath, err)
+	}
+	advisory := base.GOMAXPROCS != fresh.GOMAXPROCS
+	if advisory {
+		fmt.Fprintf(os.Stderr, "flbench: baseline recorded at GOMAXPROCS=%d, fresh run at %d — cross-configuration, comparison is advisory only (re-record the baseline to arm the gate)\n",
+			base.GOMAXPROCS, fresh.GOMAXPROCS)
+	}
+	var failures []string
+	for _, policy := range exp.SchedPolicies {
+		f, ok := fresh.Policies[policy]
+		if !ok {
+			continue
+		}
+		b, ok := base.Policies[policy]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flbench: %-14s no baseline entry (new policy) — %d ns/round recorded, not compared\n",
+				policy, f.NsPerRound)
+			continue
+		}
+		ratio := float64(f.NsPerRound) / float64(b.NsPerRound)
+		fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/round vs baseline %12d (%.2fx)\n",
+			policy, f.NsPerRound, b.NsPerRound, ratio)
+		if ratio > 1+tol {
+			failures = append(failures, fmt.Sprintf("%s regressed %.0f%% (limit %.0f%%)",
+				policy, (ratio-1)*100, tol*100))
+		}
+	}
+	if len(failures) > 0 {
+		if advisory {
+			fmt.Fprintf(os.Stderr, "flbench: would have failed at matched GOMAXPROCS: %s\n", strings.Join(failures, "; "))
+			return nil
+		}
+		return fmt.Errorf("bench regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// benchRounds is the fixed per-policy measurement window: one warmup
+// aggregation (pipeline fill, arena warm) then this many timed ones.
+// A fixed window keeps runs comparable — testing.Benchmark's adaptive
+// iteration count used to time semiasync over 4 rounds one run and 1 the
+// next, and the first aggregation's fill cost made those incomparable.
+const benchRounds = 4
+
 // writeSchedBench benchmarks one engine aggregation per policy on the
 // Table 5 platform federation (the same cell TableSched runs) and writes
-// the results as JSON. testing.Benchmark picks the iteration count.
-func writeSchedBench(path string, sc exp.Scale) error {
+// the results as JSON.
+func writeSchedBench(path string, sc exp.Scale) (schedBenchFile, error) {
 	s := sc
 	s.Clients = 17
 	s.K = 5
@@ -196,39 +275,41 @@ func writeSchedBench(path string, sc exp.Scale) error {
 		run.Sched = policy
 		fed, err := exp.BuildFederation(models.MobileNetV2, "widar", exp.Natural, [3]float64{4, 10, 3}, run)
 		if err != nil {
-			return err
+			return out, err
 		}
 		r, err := exp.NewRunner("AdaptiveFL", fed, run)
 		if err != nil {
-			return err
+			return out, err
 		}
-		var benchErr error
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := r.Round(); err != nil {
-					benchErr = err
-					b.FailNow()
-				}
+		if err := r.Round(); err != nil { // warmup
+			return out, fmt.Errorf("%s: %w", policy, err)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < benchRounds; i++ {
+			if err := r.Round(); err != nil {
+				return out, fmt.Errorf("%s: %w", policy, err)
 			}
-		})
-		if benchErr != nil {
-			return fmt.Errorf("%s: %w", policy, benchErr)
 		}
-		out.Policies[policy] = schedBenchResult{
-			NsPerRound:     res.NsPerOp(),
-			AllocsPerRound: res.AllocsPerOp(),
-			BytesPerRound:  res.AllocedBytesPerOp(),
-			Rounds:         res.N,
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		res := schedBenchResult{
+			NsPerRound:     elapsed.Nanoseconds() / benchRounds,
+			AllocsPerRound: int64(m1.Mallocs-m0.Mallocs) / benchRounds,
+			BytesPerRound:  int64(m1.TotalAlloc-m0.TotalAlloc) / benchRounds,
+			Rounds:         benchRounds,
 		}
-		fmt.Fprintf(os.Stderr, "flbench: %-10s %12d ns/round %8d allocs/round (%d rounds)\n",
-			policy, res.NsPerOp(), res.AllocsPerOp(), res.N)
+		out.Policies[policy] = res
+		fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/round %8d allocs/round (%d rounds)\n",
+			policy, res.NsPerRound, res.AllocsPerRound, res.Rounds)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		return err
+		return out, err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return out, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -44,6 +44,16 @@ type Config struct {
 	// deployment with that codec would see, and the round ledger carries
 	// real encoded byte counts. Nil keeps the exact float64 path.
 	Codec wire.Codec
+	// EstimateUpBytes, with a Codec configured, lets flight plans forecast
+	// the uplink size from the codec's wire.SizeEstimator instead of
+	// waiting for the trained payload's actual encoded length. An
+	// event-driven scheduler can then price and schedule a codec flight's
+	// whole timeline at launch and keep its training lazy; the ledger
+	// records both the estimate used for pricing (Dispatch.GotBytesEst)
+	// and the actual bytes, so the pricing error stays auditable. No
+	// effect without a codec (the parameter estimate already prices those
+	// flights) or with a custom Trainer (planning is in-process only).
+	EstimateUpBytes bool
 }
 
 // TrainResult is the outcome of one dispatch: the trained submodel state,
@@ -90,6 +100,12 @@ type Dispatch struct {
 	// (deadline scheduling): the bytes crossed the wire but the result was
 	// not aggregated, so the dispatch counts as communication waste.
 	Late bool
+	// LateReused marks a late upload that was banked instead of discarded
+	// and merged into a later aggregation under a staleness discount
+	// (sched's deadline-reuse policy): the bytes were late but not wasted,
+	// so the returned parameters count as useful work in the ledger.
+	// Always set together with Late.
+	LateReused bool
 	// Dropped marks a dispatch whose client went offline before the upload
 	// completed: nothing came back at all.
 	Dropped bool
@@ -105,6 +121,11 @@ type Dispatch struct {
 	// moved models through a wire codec (0 otherwise). testbed.Sim
 	// prefers these over parameter-count estimates.
 	SentBytes, GotBytes int64
+	// GotBytesEst is the codec's forecast of the uplink size
+	// (Config.EstimateUpBytes): the value the scheduler priced the upload
+	// with before training had produced the actual payload. 0 when the
+	// dispatch was priced from actual bytes or the parameter estimate.
+	GotBytesEst int64
 }
 
 // RoundStats aggregates one round's communication ledger.
@@ -118,16 +139,26 @@ type RoundStats struct {
 	// SentBytes / ReturnedBytes sum the encoded payload sizes (0 when no
 	// codec was in play).
 	SentBytes, ReturnedBytes int64
+	// ReturnedBytesEst sums the estimated uplink sizes the scheduler
+	// priced with (estimate mode), over the dispatches that also produced
+	// actual bytes — so ReturnedBytesEst − ReturnedBytes is the round's
+	// aggregate pricing error on a like-for-like population (a cancelled
+	// straggler's forecast, with no payload to compare to, is excluded).
+	ReturnedBytesEst int64
 	// TrainSkipped counts dispatches whose local training was skipped
 	// because the result was provably unobservable (see
 	// Dispatch.TrainSkipped).
 	TrainSkipped int
+	// LateReused counts late uploads banked and merged into this
+	// aggregation instead of being discarded (see Dispatch.LateReused).
+	LateReused int
 }
 
 // Add appends d to the ledger and folds it into the round totals. Failed
 // and dropped dispatches waste the full sent size; late uploads moved
 // bytes over the wire but count no returned parameters (they were not
-// aggregated, so they are waste in the paper's metric).
+// aggregated, so they are waste in the paper's metric) — unless they were
+// banked and reused, in which case the parameters did useful work.
 func (st *RoundStats) Add(d Dispatch) {
 	st.Dispatches = append(st.Dispatches, d)
 	st.SentParams += d.Sent.Size
@@ -135,11 +166,21 @@ func (st *RoundStats) Add(d Dispatch) {
 	if d.TrainSkipped {
 		st.TrainSkipped++
 	}
+	if d.LateReused {
+		st.LateReused++
+	}
 	if d.Failed || d.Dropped {
 		return
 	}
 	st.ReturnedBytes += d.GotBytes
-	if d.Late {
+	if d.GotBytes > 0 {
+		// Estimates accumulate only when an actual upload exists to
+		// compare against: a cancelled straggler was priced by its
+		// estimate but produced no payload, and counting its forecast
+		// would turn the pricing-error audit into noise.
+		st.ReturnedBytesEst += d.GotBytesEst
+	}
+	if d.Late && !d.LateReused {
 		return
 	}
 	st.ReturnedParams += d.Got.Size
@@ -267,7 +308,10 @@ type localResult struct {
 	failed    bool
 	sentBytes int64
 	gotBytes  int64
-	codec     string
+	// gotBytesEst is the plan's uplink-size forecast (estimate mode); it
+	// rides along into the ledger so priced-vs-actual stays auditable.
+	gotBytesEst int64
+	codec       string
 	// skipped marks a result finalised from the flight's plan without
 	// training (the dropout was sealed before training could be observed).
 	skipped bool
@@ -353,10 +397,15 @@ func (f *Flight) finalised() bool {
 // deadline straggler), the view derives from planResult — identical,
 // field for field, to what the executed result would report for an
 // outcome that discards the trained weights, with TrainSkipped false
-// because whether the worker had already started is timing noise.
+// because whether the worker had already started is timing noise. A
+// *cancelled* flight whose plan priced the uplink (estimate mode) always
+// reports the plan view, even if a worker happened to finish first:
+// there the executed view carries the actual encoded upload length, so
+// whether the ledger showed it would otherwise depend on worker timing —
+// the one field the two views do not share.
 func (f *Flight) Dispatch() Dispatch {
 	var res localResult
-	if f.plan != nil && !f.finalised() {
+	if f.plan != nil && (!f.finalised() || (f.cancelled.Load() && f.plan.UpBytesKnown)) {
 		// res must not be touched here: a cancelled worker may still be
 		// writing it.
 		res = f.planResult(false)
@@ -366,7 +415,7 @@ func (f *Flight) Dispatch() Dispatch {
 	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: res.got,
 		Failed: res.failed, Codec: res.codec,
 		SentBytes: res.sentBytes, GotBytes: res.gotBytes,
-		TrainSkipped: res.skipped}
+		GotBytesEst: res.gotBytesEst, TrainSkipped: res.skipped}
 }
 
 // PlanSlots runs Algorithm 1's selection phase for up to k dispatches over
@@ -490,9 +539,15 @@ type FlightPlan struct {
 	// Codec is the wire codec tag ("" without a codec).
 	Codec string
 	// UpBytesKnown reports that the uplink size is derivable without
-	// training: true on the parameter-estimate path, false with a codec
+	// training: true on the parameter-estimate path and in estimate mode
+	// (Config.EstimateUpBytes), false with a codec pricing actual bytes
 	// (the encoded upload length depends on the trained values).
 	UpBytesKnown bool
+	// UpBytesEst is the codec's uplink-size forecast (estimate mode; 0
+	// otherwise). The scheduler prices the upload phase with it, so the
+	// flight's whole timeline is knowable at launch and its training can
+	// stay lazy.
+	UpBytesEst int64
 }
 
 // Plan resolves a flight's on-device pruning decision ahead of training,
@@ -518,6 +573,15 @@ func (s *Server) Plan(trainer Trainer, f *Flight) (*FlightPlan, error) {
 			return nil, err
 		}
 		pl.SentBytes = pd.bytes
+		if s.cfg.EstimateUpBytes && !pl.Failed {
+			// Forecast the uplink from the member the device will train:
+			// the flight becomes fully priceable at launch, at the cost of
+			// charging estimated rather than actual wire seconds (the
+			// ledger keeps both sizes). Failed dispatches answer with no
+			// state; the cost model already charges them the sent size.
+			pl.UpBytesKnown = true
+			pl.UpBytesEst = wire.EstimateSize(s.cfg.Codec, pl.Got.Size)
+		}
 	}
 	f.plan = pl
 	return pl, nil
@@ -541,7 +605,8 @@ func (s *Server) SkipFlight(f *Flight) {
 func (f *Flight) planResult(skipped bool) localResult {
 	pl := f.plan
 	return localResult{failed: pl.Failed, got: pl.Got,
-		sentBytes: pl.SentBytes, codec: pl.Codec, skipped: skipped && !pl.Failed}
+		sentBytes: pl.SentBytes, gotBytesEst: pl.UpBytesEst,
+		codec: pl.Codec, skipped: skipped && !pl.Failed}
 }
 
 // Execute runs the flight's local training (Steps 4-5 of Algorithm 1).
@@ -610,12 +675,17 @@ const (
 	// Dropped: the client went offline before the upload completed;
 	// nothing came back.
 	Dropped
+	// LateReused: the upload arrived after its round closed but is banked
+	// and merged into a later aggregation under a staleness discount
+	// (FedAsync-style reuse) instead of being discarded.
+	LateReused
 )
 
 // Record finalises an executed flight's outcome: it applies the RL table
 // update and returns the ledger entry plus the aggregation update. The
-// update is non-nil only for Merged flights that trained successfully; the
-// caller applies any staleness discount to its weight before aggregating.
+// update is non-nil only for Merged and LateReused flights that trained
+// successfully; the caller applies any staleness discount to its weight
+// before aggregating.
 func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 	// Everything below reads the ledger view, not res directly: a
 	// cancelled flight whose worker is still running must be recordable
@@ -644,8 +714,12 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 		d.Late = true
 		return d, nil
 	}
-	// Merged outcomes consume the trained state: the caller must have
-	// joined the execution (Wait) before recording a merge.
+	if oc == LateReused {
+		d.Late, d.LateReused = true, true
+	}
+	// Merged (and late-reused) outcomes consume the trained state: the
+	// caller must have joined the execution (Wait) before recording, and
+	// applies any staleness discount to the update's weight.
 	return d, &agg.Update{State: f.res.state, Weight: float64(f.res.samples)}
 }
 
@@ -788,7 +862,8 @@ func (s *Server) trainPlanned(lt localTrainer, f *Flight) localResult {
 		return localResult{err: err}
 	}
 	return localResult{state: state, samples: samples, got: pl.Got,
-		sentBytes: pl.SentBytes, gotBytes: gotBytes, codec: pl.Codec}
+		sentBytes: pl.SentBytes, gotBytes: gotBytes, gotBytesEst: pl.UpBytesEst,
+		codec: pl.Codec}
 }
 
 // preDispatch is one pre-encoded dispatch: the wire size and the decoded

@@ -47,6 +47,15 @@ type Scale struct {
 	// sched.ParseTrace: "always", "straggler:…", "churn:…"). Empty means
 	// every client is always available at nominal speed.
 	Trace string
+	// EstimateUp prices scheduled codec uplinks from the codec's size
+	// estimate instead of the actual encoded length
+	// (core.Config.EstimateUpBytes), letting codec flights train lazily.
+	EstimateUp bool
+	// Trainer, when set, overrides how AdaptiveFL dispatches execute —
+	// cmd/adaptivefl wires a fednet.Cluster's HTTPTrainer here for real
+	// loopback transport. The transport then owns the wire encoding, so
+	// Codec is not also applied in-process.
+	Trainer core.Trainer
 }
 
 // QuickScale finishes an experiment in tens of seconds; used by the

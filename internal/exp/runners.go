@@ -34,6 +34,11 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 				return nil, err
 			}
 		}
+		if sc.Trainer != nil {
+			// A real transport owns the wire encoding end to end; applying
+			// the codec in-process as well would encode twice.
+			codec = nil
+		}
 		a, err := baselines.NewAdaptive(core.Config{
 			Model:           fed.Model,
 			Pool:            prune.Config{P: p},
@@ -44,7 +49,9 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			Train:           sc.TrainConfig(),
 			Seed:            sc.Seed + 101,
 			Parallelism:     sc.Parallelism,
+			Trainer:         sc.Trainer,
 			Codec:           codec,
+			EstimateUpBytes: sc.EstimateUp,
 		}, fed.Clients, label)
 		if err != nil || sc.Sched == "" {
 			return a, err

@@ -9,7 +9,7 @@ import (
 )
 
 // SchedPolicies lists the aggregation policies TableSched compares.
-var SchedPolicies = []string{"sync", "deadline", "semiasync"}
+var SchedPolicies = []string{"sync", "deadline", "deadline-reuse", "semiasync"}
 
 // TableSched compares the scheduling policies on the simulated Table 5
 // platform (17 devices, Widar-like data, MobileNetV2): each policy runs
@@ -32,13 +32,14 @@ func TableSched(w io.Writer, sc Scale) error {
 	}
 	props := [3]float64{4, 10, 3} // Table 5: 4 Pi, 10 Nano, 3 Xavier
 	fmt.Fprintf(w, "Sched — policies on the Table 5 platform (widar/mobilenetv2, trace=%s)\n", s.Trace)
-	fmt.Fprintln(w, "policy      round  sim-time(s)  full-acc(%)")
+	fmt.Fprintln(w, "policy          round  sim-time(s)  full-acc(%)")
 
 	type point struct {
 		time, acc float64
 	}
 	finals := map[string]point{}
 	curves := map[string][]point{}
+	reusedBy := map[string]int{}
 	for _, policy := range SchedPolicies {
 		run := s
 		run.Sched = policy
@@ -66,8 +67,11 @@ func TableSched(w io.Writer, sc Scale) error {
 				p := point{time: sa.SimTime(), acc: acc["full"]}
 				curves[policy] = append(curves[policy], p)
 				finals[policy] = p
-				fmt.Fprintf(w, "%-10s %6d  %11.1f  %10.2f\n", policy, round, p.time, p.acc*100)
+				fmt.Fprintf(w, "%-14s %6d  %11.1f  %10.2f\n", policy, round, p.time, p.acc*100)
 			}
+		}
+		for _, c := range sa.Eng.Commits() {
+			reusedBy[policy] += c.LateReused
 		}
 	}
 
@@ -83,12 +87,16 @@ func TableSched(w io.Writer, sc Scale) error {
 				break
 			}
 		}
+		reuseNote := ""
+		if reusedBy[policy] > 0 {
+			reuseNote = fmt.Sprintf("  [%d late uploads reused]", reusedBy[policy])
+		}
 		if reached < 0 {
-			fmt.Fprintf(w, "%-10s  not reached in %d rounds (final %.2f%%)\n",
-				policy, s.Rounds, finals[policy].acc*100)
+			fmt.Fprintf(w, "%-14s  not reached in %d rounds (final %.2f%%)%s\n",
+				policy, s.Rounds, finals[policy].acc*100, reuseNote)
 			continue
 		}
-		fmt.Fprintf(w, "%-10s  %8.1fs  (%.2f× sync)\n", policy, reached, reached/target.time)
+		fmt.Fprintf(w, "%-14s  %8.1fs  (%.2f× sync)%s\n", policy, reached, reached/target.time, reuseNote)
 	}
 	return nil
 }

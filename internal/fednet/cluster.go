@@ -1,0 +1,74 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/prune"
+)
+
+// Cluster is the real-transport half of the sched×fednet bridge: one
+// loopback HTTP agent server per client, plus an HTTPTrainer pointed at
+// them. Handing Cluster.Trainer to core.Config.Trainer makes every
+// dispatch a real POST /train round trip — the event engine then prices
+// *time* from its virtual clock and traces while the *bytes* it charges
+// are the actual encoded payloads that crossed the loopback — so a
+// simulation run exercises the same agent code, codec negotiation and
+// re-negotiation paths a physical AIoT deployment would.
+//
+// Agents listen on ephemeral 127.0.0.1 ports; Close shuts them all down.
+// The agents share the caller's *core.Client values (data shard + device),
+// mirroring the paper's test-bed where the device owns its resource state:
+// capacity draws happen inside the agent, one per dispatch, exactly where
+// the in-process trainer's preflight plan would draw them.
+type Cluster struct {
+	Agents  []*Agent
+	URLs    []string
+	Trainer *HTTPTrainer
+
+	servers   []*http.Server
+	listeners []net.Listener
+}
+
+// NewCluster builds and starts one agent server per client and the
+// trainer wired to them. The pool is rebuilt from the model and pool
+// configs so agents and server agree on member indices. On error,
+// anything already started is shut down.
+func NewCluster(clients []*core.Client, mcfg models.Config, pcfg prune.Config, train core.TrainConfig) (*Cluster, error) {
+	cl := &Cluster{}
+	for _, c := range clients {
+		agent, err := NewAgent(c, mcfg, pcfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("fednet: agent listener: %w", err)
+		}
+		srv := &http.Server{Handler: agent}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+		cl.Agents = append(cl.Agents, agent)
+		cl.URLs = append(cl.URLs, "http://"+ln.Addr().String()+"/train")
+		cl.servers = append(cl.servers, srv)
+		cl.listeners = append(cl.listeners, ln)
+	}
+	pool, err := prune.BuildPool(mcfg, pcfg)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.Trainer = NewHTTPTrainer(cl.URLs, pool, train)
+	return cl, nil
+}
+
+// Close shuts every agent server down. Safe on a partially built cluster.
+func (cl *Cluster) Close() {
+	for _, srv := range cl.servers {
+		srv.Close()
+	}
+}

@@ -1,0 +1,177 @@
+package fednet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/sched"
+	"adaptivefl/internal/testbed"
+	"adaptivefl/internal/wire"
+)
+
+// TestEngineHTTPParityWithInProcess is the real-transport acceptance bar:
+// driving the event engine with the HTTP trainer against loopback agents
+// must reproduce the in-process codec path bit-for-bit — same global
+// weights, same ledger (including the real encoded byte counts the cost
+// model charged), same event log, same commits — for the same seed, trace
+// and codec. Virtual time prices the schedule; the loopback transport
+// supplies the actual payloads.
+//
+// The trace is a permanent straggler (no offline windows): a mid-flight
+// dropout is the one place the two paths legitimately diverge in the
+// ledger, because the in-process preflight plan skips a sealed dropout's
+// training (TrainSkipped) while a real agent has already been asked.
+func TestEngineHTTPParityWithInProcess(t *testing.T) {
+	mcfg := testModelCfg()
+	pcfg := prune.Config{P: 3}
+	commits := 2
+
+	codecs := []wire.Codec{wire.Q8{}}
+	if !testing.Short() {
+		codecs = append(codecs, wire.NewDeltaTopK()) // exercises the downlink-reference path
+	}
+	for _, codec := range codecs {
+		t.Run(codec.Tag(), func(t *testing.T) {
+			run := func(overHTTP bool) (map[string]float64, []core.RoundStats, []string, []sched.Commit) {
+				clients := buildClients(t, 5) // fresh, bit-identical population per run
+				cfg := core.Config{
+					Model: mcfg, Pool: pcfg, ClientsPerRound: 3,
+					Train: quickTrain(), Seed: 63,
+				}
+				var cluster *Cluster
+				if overHTTP {
+					var err error
+					cluster, err = NewCluster(clients, mcfg, pcfg, quickTrain())
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer cluster.Close()
+					cluster.Trainer.Codec = codec
+					cfg.Trainer = cluster.Trainer
+				} else {
+					cfg.Codec = codec
+				}
+				srv, err := core.NewServer(cfg, clients)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := testbed.NewSim(testbed.Table5Platform())
+				if err != nil {
+					t.Fatal(err)
+				}
+				weak := func(c int) bool { return clients[c].Device.Class == core.Weak }
+				trace := &sched.RandomTrace{
+					Seed: 909, MeanOn: 1e9,
+					SlowProb: 1, SlowFactor: 10, SlowOnly: weak,
+				}
+				eng, err := sched.New(srv, sim, trace, sched.Config{
+					Policy: sched.DeadlineReuse, K: 3, Extra: 1, Epochs: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Run(commits, nil); err != nil {
+					t.Fatal(err)
+				}
+				sums := map[string]float64{}
+				for name, v := range srv.Global() {
+					sums[name] = v.Sum()
+				}
+				return sums, srv.Stats(), eng.Log(), eng.Commits()
+			}
+
+			localSums, localStats, localLog, localCommits := run(false)
+			httpSums, httpStats, httpLog, httpCommits := run(true)
+
+			if len(localSums) != len(httpSums) {
+				t.Fatalf("parameter sets differ: %d vs %d", len(localSums), len(httpSums))
+			}
+			for name, v := range localSums {
+				if httpSums[name] != v {
+					t.Fatalf("parameter %q differs between in-process and HTTP engine runs", name)
+				}
+			}
+			if !reflect.DeepEqual(localLog, httpLog) {
+				t.Fatalf("event logs differ:\nlocal: %s\nhttp:  %s",
+					strings.Join(localLog, "\n       "), strings.Join(httpLog, "\n       "))
+			}
+			if !reflect.DeepEqual(localStats, httpStats) {
+				t.Fatalf("ledgers differ:\nlocal %+v\nhttp  %+v", localStats, httpStats)
+			}
+			if !reflect.DeepEqual(localCommits, httpCommits) {
+				t.Fatalf("commits differ:\nlocal %+v\nhttp  %+v", localCommits, httpCommits)
+			}
+			// The parity is only meaningful if real bytes crossed the wire
+			// and were charged.
+			for _, st := range httpStats {
+				if st.SentBytes == 0 {
+					t.Fatalf("round %d moved no wire bytes — the transport was not exercised", st.Round)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterAgentRestartUnderEngine drives the re-negotiation path
+// through the event engine: an agent that restarts mid-run with a smaller
+// codec set must be re-negotiated transparently (415 → renegotiate →
+// retry) and the run must keep committing.
+func TestClusterAgentRestartUnderEngine(t *testing.T) {
+	mcfg := testModelCfg()
+	pcfg := prune.Config{P: 3}
+	clients := buildClients(t, 3)
+
+	cluster, err := NewCluster(clients, mcfg, pcfg, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Trainer.Negotiate(wire.Q8{})
+
+	// Swap agent 0 for a restarted instance that only speaks raw. The
+	// cluster's server keeps its address, so the trainer's next dispatch
+	// hits the new instance with the stale q8 negotiation.
+	restarted, err := NewAgent(clients[0], mcfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted.Codecs = []string{wire.TagRaw}
+	cluster.servers[0].Handler = restarted
+
+	srv, err := core.NewServer(core.Config{
+		Model: mcfg, Pool: pcfg, ClientsPerRound: 2,
+		Train: quickTrain(), Seed: 71, Trainer: cluster.Trainer,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := testbed.NewSim(testbed.Table5Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sched.New(srv, sim, nil, sched.Config{Policy: sched.Sync, K: 2, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2, nil); err != nil {
+		t.Fatalf("engine run across agent restart: %v", err)
+	}
+	sawClient0 := false
+	for _, st := range srv.Stats() {
+		for _, d := range st.Dispatches {
+			if d.Client != 0 {
+				continue
+			}
+			sawClient0 = true
+			if d.Codec != wire.TagRaw {
+				t.Fatalf("client 0 dispatched with codec %q after restart, want raw", d.Codec)
+			}
+		}
+	}
+	if !sawClient0 {
+		t.Skip("seed never selected client 0 — restart path not exercised")
+	}
+}

@@ -92,6 +92,11 @@ type Engine struct {
 	// semiasync stream state, persisted across Steps.
 	buffer []agg.Update
 	accum  core.RoundStats
+	// bank holds deadline-reuse updates from late uploads that arrived
+	// after their round closed (staleness discount already applied); the
+	// next commit merges and clears it. Their ledger entries accumulate in
+	// accum alongside it.
+	bank []agg.Update
 	// trainer is the cached per-version trainer for one-at-a-time
 	// dispatches: RoundTrainer snapshots the global weights, so it stays
 	// valid (and keeps memoizing codec pre-encodes) until the next
@@ -349,8 +354,8 @@ func (e *Engine) nextWindowOpen() float64 {
 
 // waitEligible advances virtual time until at least one client is
 // dispatchable, processing any queue events passed over (stragglers from
-// closed rounds release their clients here). It fails if nothing can ever
-// become eligible again.
+// closed rounds release their clients — or bank their uploads — here). It
+// fails if nothing can ever become eligible again.
 func (e *Engine) waitEligible() error {
 	for {
 		if e.countEligible() > 0 {
@@ -376,11 +381,26 @@ func (e *Engine) waitEligible() error {
 		if len(e.events) > 0 && e.events[0].t <= tNext {
 			ev := e.pop()
 			e.clock = ev.t
-			e.finishResidual(ev)
+			if err := e.settleResidual(ev); err != nil {
+				return err
+			}
 			continue
 		}
 		e.clock = tNext
 	}
+}
+
+// settleResidual handles an event for a flight from an already-closed
+// round. A flight finalised at close time only releases its client
+// (finishResidual); a deadline-reuse straggler — left open at close
+// precisely so its upload could still be observed — banks its result for
+// the next aggregation instead.
+func (e *Engine) settleResidual(ev *event) error {
+	if !ev.fl.recorded && ev.kind == evArrive {
+		return e.bankResidual(ev.fl)
+	}
+	e.finishResidual(ev)
+	return nil
 }
 
 // finishResidual handles an event for a flight that was already finalised
@@ -389,6 +409,35 @@ func (e *Engine) waitEligible() error {
 func (e *Engine) finishResidual(ev *event) {
 	e.release(ev.fl)
 	e.logf("%.3f late-%s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
+}
+
+// bankResidual collects a deadline-reuse straggler whose upload just
+// arrived: the training is joined, the dispatch is ledgered LateReused
+// (recorded exactly once — the flag flips here, so a banked flight can
+// never be settled again), and the update joins the bank for the next
+// aggregation, weighted by the staleness discount 1/(1+s)^α anchored to
+// the version the dispatch was cut from.
+func (e *Engine) bankResidual(fl *flight) error {
+	if err := e.join(fl); err != nil {
+		return err
+	}
+	e.release(fl)
+	fl.recorded = true
+	stale := e.srv.Staleness(fl.f)
+	d, u := e.srv.Record(fl.f, core.LateReused)
+	e.accum.Add(d)
+	if d.Failed {
+		// A capacity failure that also straggled: nothing to reuse, the
+		// ledger entry is plain waste.
+		e.logf("%.3f late-failed c%d %s", e.clock, d.Client, d.Got.Name())
+	} else {
+		e.logf("%.3f late-reuse c%d %s stale=%d", e.clock, d.Client, d.Got.Name(), stale)
+	}
+	if u != nil {
+		u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
+		e.bank = append(e.bank, *u)
+	}
+	return nil
 }
 
 // launchBatch opens flights for the slots in order (deterministic IDs)
@@ -420,13 +469,15 @@ func (e *Engine) commitRecorded(round int, stats core.RoundStats, updates []agg.
 			c.Dropped++
 		case d.Failed:
 			c.Failed++
+		case d.LateReused:
+			c.LateReused++
 		case d.Late:
 			c.Late++
 		}
 	}
 	e.commits = append(e.commits, c)
-	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d dropped=%d",
-		e.clock, round, c.Merged, c.Failed, c.Late, c.Dropped)
+	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d reused=%d dropped=%d",
+		e.clock, round, c.Merged, c.Failed, c.Late, c.LateReused, c.Dropped)
 	return c, nil
 }
 
@@ -470,8 +521,12 @@ func (e *Engine) stepSync() (Commit, error) {
 
 // stepDeadline runs one over-provisioned round: dispatch K+Δ, close as
 // soon as K responses are in (or the absolute deadline passes with at
-// least one), and finalise stragglers as Late/Dropped waste at close.
-func (e *Engine) stepDeadline() (Commit, error) {
+// least one). At close, stragglers are finalised as Late/Dropped waste —
+// or, with reuse (the deadline-reuse policy), left open so their uploads
+// can be banked when they eventually arrive and merged into a later
+// aggregation under the staleness discount, alongside any bank the
+// previous rounds accumulated.
+func (e *Engine) stepDeadline(reuse bool) (Commit, error) {
 	if err := e.waitEligible(); err != nil {
 		return Commit{}, err
 	}
@@ -512,8 +567,12 @@ func (e *Engine) stepDeadline() (Commit, error) {
 		}
 		ev := e.pop()
 		e.clock = ev.t
-		if ev.fl.recorded {
-			e.finishResidual(ev)
+		if !thisRound[ev.fl] {
+			// A prior round's flight: its client releases either way; a
+			// reuse straggler additionally banks its upload.
+			if err := e.settleResidual(ev); err != nil {
+				return Commit{}, err
+			}
 			continue
 		}
 		if err := e.join(ev.fl); err != nil {
@@ -521,16 +580,21 @@ func (e *Engine) stepDeadline() (Commit, error) {
 		}
 		e.release(ev.fl)
 		e.logf("%.3f %s c%d %s", e.clock, ev.kind, ev.fl.d.Client, ev.fl.d.Got.Name())
-		if thisRound[ev.fl] {
-			pending--
-			ev.fl.collected = true
-			if ev.kind == evArrive {
-				arrived++
-			}
+		pending--
+		ev.fl.collected = true
+		if ev.kind == evArrive {
+			arrived++
 		}
 	}
+	// The bank goes first: its entries arrived (in virtual time) before
+	// this round's close, and merging banked updates ahead of fresh ones
+	// keeps the aggregation order deterministic.
 	stats := core.RoundStats{}
 	var updates []agg.Update
+	if reuse {
+		stats, updates = e.accum, e.bank
+		e.accum, e.bank = core.RoundStats{}, nil
+	}
 	for _, fl := range fls {
 		var oc core.Outcome
 		switch {
@@ -538,6 +602,11 @@ func (e *Engine) stepDeadline() (Commit, error) {
 			oc = core.Merged
 		case fl.drops:
 			oc = core.Dropped
+		case reuse:
+			// The straggler's upload is still in flight and will be banked
+			// at its arrival event; its ledger entry lands with the
+			// aggregation that consumes it.
+			continue
 		default:
 			// A straggler ledgered Late at close: its upload is discarded,
 			// so a training still queued behind a worker is abandoned (the
@@ -642,7 +711,7 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 		e.accum.Add(d)
 		e.logf("%.3f arrive c%d %s stale=%d", e.clock, d.Client, d.Got.Name(), stale)
 		if u != nil {
-			u.Weight *= stalenessDiscount(stale, e.cfg.StalenessExp)
+			u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
 			e.buffer = append(e.buffer, *u)
 		}
 		if len(e.buffer) >= e.cfg.Buffer {
@@ -663,7 +732,9 @@ func (e *Engine) Step() (Commit, error) {
 	case Sync:
 		return e.stepSync()
 	case Deadline:
-		return e.stepDeadline()
+		return e.stepDeadline(false)
+	case DeadlineReuse:
+		return e.stepDeadline(true)
 	case SemiAsync:
 		return e.stepSemiAsync()
 	}

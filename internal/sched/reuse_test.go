@@ -1,0 +1,362 @@
+package sched_test
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/sched"
+	"adaptivefl/internal/wire"
+)
+
+// reuseScenario runs the 10×-slow-straggler federation (the same fleet as
+// TestStragglerPolicies) under the given policy and staleness exponent.
+func reuseScenario(t *testing.T, policy sched.Policy, alpha float64, rounds int) (*sched.Engine, *core.Server) {
+	t.Helper()
+	const n, k = 10, 5
+	srv := buildServer(t, n, k, 47)
+	// Populations are built bit-identically per seed, so probing the run's
+	// own server is as structural as probing a throwaway copy.
+	straggle := -1
+	for i, c := range srv.Clients() {
+		if c.Device.Class == core.Weak {
+			straggle = i
+			break
+		}
+	}
+	if straggle < 0 {
+		t.Fatal("no weak client in the population")
+	}
+	trace := &sched.RandomTrace{
+		Seed: 7, MeanOn: 1e9, // one long segment: the slowdown is permanent
+		SlowProb: 1, SlowFactor: 10,
+		SlowOnly: func(c int) bool { return c == straggle },
+	}
+	eng, err := sched.New(srv, testSim(t), trace, sched.Config{
+		Policy: policy, K: k, Extra: 2, Epochs: 1, StalenessExp: alpha,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(rounds, nil); err != nil {
+		t.Fatalf("%s: %v", policy, err)
+	}
+	return eng, srv
+}
+
+// reuseStales extracts the stale= values of the late-reuse log lines.
+func reuseStales(t *testing.T, log []string) []int {
+	t.Helper()
+	var stales []int
+	for _, line := range log {
+		if !strings.Contains(line, "late-reuse") {
+			continue
+		}
+		i := strings.LastIndex(line, "stale=")
+		if i < 0 {
+			t.Fatalf("late-reuse line without stale: %q", line)
+		}
+		s, err := strconv.Atoi(line[i+len("stale="):])
+		if err != nil {
+			t.Fatalf("bad stale in %q: %v", line, err)
+		}
+		stales = append(stales, s)
+	}
+	return stales
+}
+
+// TestDeadlineReuseBanksStragglers is the reuse policy's reason to exist:
+// under a permanent 10×-slow straggler, late uploads must be banked and
+// merged into the next aggregation (ledgered LateReused, never
+// double-merged), the schedule must finish no later than plain deadline's,
+// and the whole run must be bit-deterministic.
+func TestDeadlineReuseBanksStragglers(t *testing.T) {
+	rounds := 4
+	if testing.Short() {
+		rounds = 3
+	}
+
+	engD, _ := reuseScenario(t, sched.Deadline, 0, rounds)
+	engR, srvR := reuseScenario(t, sched.DeadlineReuse, 0, rounds)
+
+	// ≥1 late upload banked and merged, with a real staleness gap.
+	reused := 0
+	for _, c := range engR.Commits() {
+		reused += c.LateReused
+	}
+	if reused == 0 {
+		t.Fatal("deadline-reuse merged no late uploads — pick another seed")
+	}
+	stales := reuseStales(t, engR.Log())
+	if len(stales) != reused {
+		t.Fatalf("%d late-reuse log lines for %d LateReused commits", len(stales), reused)
+	}
+	maxStale := 0
+	for _, s := range stales {
+		if s > maxStale {
+			maxStale = s
+		}
+	}
+	if maxStale < 1 {
+		t.Fatalf("banked uploads all carried stale=0 — the discount path is untested (stales=%v)", stales)
+	}
+
+	// Reuse must not slow the schedule down: round closes are identical,
+	// only the late uploads' fate changes.
+	if engR.Clock() > engD.Clock() {
+		t.Fatalf("deadline-reuse took %.1fs vs deadline %.1fs — reuse must not slow the schedule",
+			engR.Clock(), engD.Clock())
+	}
+
+	// Ledger invariants: every dispatched flight is recorded exactly once
+	// across all commits, and LateReused entries are consistent.
+	dispatchLines := 0
+	for _, line := range engR.Log() {
+		if strings.Contains(line, " dispatch ") {
+			dispatchLines++
+		}
+	}
+	entries, ledgerReused := 0, 0
+	for _, st := range srvR.Stats() {
+		ledgerReused += st.LateReused
+		for _, d := range st.Dispatches {
+			entries++
+			if d.LateReused && !d.Late {
+				t.Fatalf("LateReused dispatch without Late: %+v", d)
+			}
+			if d.LateReused && (d.Failed || d.Dropped) {
+				t.Fatalf("LateReused dispatch marked Failed/Dropped: %+v", d)
+			}
+		}
+	}
+	if ledgerReused != reused {
+		t.Fatalf("ledger counts %d LateReused, commits count %d", ledgerReused, reused)
+	}
+	// Stragglers still open at the end of the run are legitimately
+	// unrecorded; everything settled must appear exactly once, so the
+	// ledger plus the in-flight set must account for every dispatch.
+	if entries+srvR.InFlight() != dispatchLines {
+		t.Fatalf("%d ledger entries + %d in flight ≠ %d dispatches — a flight was double-recorded or lost",
+			entries, srvR.InFlight(), dispatchLines)
+	}
+
+	// A LateReused upload contributes returned parameters (it was not
+	// waste), unlike a discarded Late one.
+	for _, st := range srvR.Stats() {
+		if st.LateReused > 0 && st.ReturnedParams == 0 {
+			t.Fatalf("round %d reused %d uploads but counted no returned params", st.Round, st.LateReused)
+		}
+	}
+
+	// Bit-determinism: an identical second run replays exactly.
+	engR2, srvR2 := reuseScenario(t, sched.DeadlineReuse, 0, rounds)
+	if !reflect.DeepEqual(engR.Log(), engR2.Log()) {
+		t.Fatalf("deadline-reuse event logs differ across identical runs:\nA: %s\nB: %s",
+			strings.Join(engR.Log(), "\n   "), strings.Join(engR2.Log(), "\n   "))
+	}
+	sumsA, sumsB := globalSums(srvR), globalSums(srvR2)
+	for name, v := range sumsA {
+		if sumsB[name] != v {
+			t.Fatalf("parameter %q differs across identical deadline-reuse runs", name)
+		}
+	}
+
+	// The staleness discount must actually bite: disabling it (α = 0 via
+	// the negative sentinel) changes the aggregated weights.
+	_, srvNoDisc := reuseScenario(t, sched.DeadlineReuse, -1, rounds)
+	sumsND := globalSums(srvNoDisc)
+	same := true
+	for name, v := range sumsA {
+		if sumsND[name] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("disabling the staleness discount changed nothing — the discount is not applied")
+	}
+}
+
+// TestStalenessDiscount pins the 1/(1+s)^α formula and its edge cases.
+func TestStalenessDiscount(t *testing.T) {
+	cases := []struct {
+		stale int
+		exp   float64
+		want  float64
+	}{
+		{0, 0.5, 1},
+		{-3, 0.5, 1},
+		{1, 0.5, 1 / math.Sqrt(2)},
+		{3, 0.5, 0.5},
+		{3, 1, 0.25},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := sched.StalenessDiscount(c.stale, c.exp); math.Abs(got-c.want) > 1e-15 {
+			t.Fatalf("StalenessDiscount(%d, %v) = %v, want %v", c.stale, c.exp, got, c.want)
+		}
+	}
+}
+
+// buildCodecServer is buildServer with the in-process wire codec (and
+// optionally estimate-mode uplink pricing) configured.
+func buildCodecServer(t *testing.T, n, k int, seed int64, codec wire.Codec, estimate bool) *core.Server {
+	t.Helper()
+	return buildServerCfg(t, n, k, seed, func(cfg *core.Config) {
+		cfg.Codec = codec
+		cfg.EstimateUpBytes = estimate
+	})
+}
+
+// TestEstimateModeMatchesActualWeights: under the sync policy the
+// aggregation order is slot order, so pricing the uplink from the codec's
+// size estimate (full laziness) instead of the actual encoded length must
+// change simulated times but not a single weight — and the ledger must
+// carry both the estimate and the actual bytes.
+func TestEstimateModeMatchesActualWeights(t *testing.T) {
+	rounds := 2
+	run := func(estimate bool) (*sched.Engine, *core.Server) {
+		srv := buildCodecServer(t, 6, 3, 41, wire.Q8{}, estimate)
+		eng, err := sched.New(srv, testSim(t), sched.AlwaysOn{}, sched.Config{
+			Policy: sched.Sync, K: 3, Epochs: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(rounds, nil); err != nil {
+			t.Fatal(err)
+		}
+		return eng, srv
+	}
+	_, actual := run(false)
+	engEst, est := run(true)
+
+	sumsA, sumsE := globalSums(actual), globalSums(est)
+	for name, v := range sumsA {
+		if sumsE[name] != v {
+			t.Fatalf("parameter %q differs between actual-bytes and estimate pricing", name)
+		}
+	}
+	for _, st := range est.Stats() {
+		if st.ReturnedBytesEst <= 0 {
+			t.Fatalf("round %d: estimate mode recorded no estimated uplink bytes", st.Round)
+		}
+		for _, d := range st.Dispatches {
+			if d.Failed {
+				continue
+			}
+			if d.GotBytesEst <= 0 {
+				t.Fatalf("round %d: dispatch priced without an estimate: %+v", st.Round, d)
+			}
+			if d.GotBytes <= 0 {
+				t.Fatalf("round %d: merged dispatch lost its actual bytes: %+v", st.Round, d)
+			}
+		}
+		if st.ReturnedBytes == st.ReturnedBytesEst {
+			t.Logf("round %d: estimate exactly matched actual (%d B) — suspicious but not wrong", st.Round, st.ReturnedBytes)
+		}
+	}
+	for _, st := range actual.Stats() {
+		if st.ReturnedBytesEst != 0 {
+			t.Fatalf("actual-bytes run recorded estimated bytes: %+v", st)
+		}
+	}
+	if engEst.Clock() <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+// TestEstimateModeCancelDeterministic: a deadline round closing on
+// estimate-priced stragglers cancels trainings that may or may not have
+// already run, and the two states' ledger views differ in exactly one
+// field (the executed view knows the actual encoded upload length). The
+// ledger must not depend on that race: serial and wide runs produce
+// identical stats and logs, and cancelled lates ledger the estimate, not
+// a timing-dependent actual.
+func TestEstimateModeCancelDeterministic(t *testing.T) {
+	commits := 3
+	if testing.Short() {
+		commits = 2
+	}
+	run := func(par int) ([]string, []core.RoundStats) {
+		srv := buildCodecServer(t, 6, 3, 43, wire.Q8{}, true)
+		trace := &sched.RandomTrace{Seed: 99, MeanOn: 40, MeanOff: 5, SlowProb: 0.5, SlowFactor: 10}
+		eng, err := sched.New(srv, testSim(t), trace, sched.Config{
+			Policy: sched.Deadline, K: 3, Extra: 2, Epochs: 1, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(commits, nil); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Log(), srv.Stats()
+	}
+	logS, statsS := run(1)
+	logP, statsP := run(8)
+	if !reflect.DeepEqual(logS, logP) {
+		t.Fatalf("event logs differ between Parallelism=1 and 8:\nserial:   %s\nparallel: %s",
+			strings.Join(logS, "\n          "), strings.Join(logP, "\n          "))
+	}
+	if !reflect.DeepEqual(statsS, statsP) {
+		t.Fatalf("ledgers differ between serial and parallel runs:\nserial   %+v\nparallel %+v", statsS, statsP)
+	}
+	lates := 0
+	for _, st := range statsS {
+		for _, d := range st.Dispatches {
+			if !d.Late || d.Failed {
+				continue
+			}
+			lates++
+			if d.GotBytes != 0 {
+				t.Fatalf("cancelled late dispatch ledgered a timing-dependent actual upload: %+v", d)
+			}
+			if d.GotBytesEst <= 0 {
+				t.Fatalf("cancelled late dispatch lost its pricing estimate: %+v", d)
+			}
+		}
+	}
+	if lates == 0 {
+		t.Fatal("no late dispatches — the cancellation race was not exercised, pick another seed")
+	}
+}
+
+// TestEstimateModeSkipsDroppedTraining: the estimate's whole point — with
+// a codec active, a churny trace's sealed dropouts must skip training
+// (TrainSkipped), which the actual-bytes path cannot do because it needs
+// the trained payload to price the uplink.
+func TestEstimateModeSkipsDroppedTraining(t *testing.T) {
+	srv := buildCodecServer(t, 6, 3, 53, wire.Q8{}, true)
+	trace := &sched.RandomTrace{Seed: 2, MeanOn: 2, MeanOff: 3, SlowProb: 0.6, SlowFactor: 10}
+	eng, err := sched.New(srv, testSim(t), trace, sched.Config{
+		Policy: sched.SemiAsync, K: 3, Buffer: 2, Epochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := 3
+	if testing.Short() {
+		commits = 2
+	}
+	if err := eng.Run(commits, nil); err != nil {
+		t.Fatal(err)
+	}
+	drops, skips := 0, 0
+	for _, st := range srv.Stats() {
+		skips += st.TrainSkipped
+		for _, d := range st.Dispatches {
+			if d.Dropped && !d.Failed {
+				drops++
+			}
+		}
+	}
+	if drops == 0 {
+		t.Fatal("churn trace produced no drops — pick another seed")
+	}
+	if skips == 0 {
+		t.Fatalf("codec run with estimate pricing skipped no trainings for %d drops", drops)
+	}
+}

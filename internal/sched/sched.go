@@ -39,15 +39,21 @@ const (
 	Sync      Policy = "sync"
 	Deadline  Policy = "deadline"
 	SemiAsync Policy = "semiasync"
+	// DeadlineReuse closes rounds exactly like Deadline but banks late
+	// uploads instead of discarding them: a straggler's result is merged
+	// into the next aggregation under the semiasync staleness discount
+	// 1/(1+s)^α (FedAsync-style reuse), ledgered as LateReused rather
+	// than as communication waste.
+	DeadlineReuse Policy = "deadline-reuse"
 )
 
 // ParsePolicy resolves a policy name.
 func ParsePolicy(name string) (Policy, error) {
 	switch Policy(name) {
-	case Sync, Deadline, SemiAsync:
+	case Sync, Deadline, DeadlineReuse, SemiAsync:
 		return Policy(name), nil
 	}
-	return "", fmt.Errorf("sched: unknown policy %q (sync|deadline|semiasync)", name)
+	return "", fmt.Errorf("sched: unknown policy %q (sync|deadline|deadline-reuse|semiasync)", name)
 }
 
 // CostModel prices the three phases of one dispatch in virtual seconds.
@@ -63,8 +69,9 @@ type Config struct {
 	// K is the dispatch width: clients per round (sync, deadline) or the
 	// in-flight target (semiasync).
 	K int
-	// Extra is the deadline policy's over-selection Δ: K+Extra clients are
-	// dispatched, the round closes once K respond. Default max(1, K/2).
+	// Extra is the deadline policies' over-selection Δ: K+Extra clients
+	// are dispatched, the round closes once K respond. Default
+	// max(1, K/2).
 	Extra int
 	// Deadline is the deadline policy's optional absolute per-round cap in
 	// virtual seconds; 0 closes purely on the K-th response. If nothing
@@ -73,8 +80,9 @@ type Config struct {
 	Deadline float64
 	// Buffer is the semiasync aggregation size B. Default max(1, K/2).
 	Buffer int
-	// StalenessExp is the semiasync staleness-discount exponent α in
-	// weight·1/(1+s)^α. Zero (the unset value) means the 0.5 default
+	// StalenessExp is the staleness-discount exponent α in
+	// weight·1/(1+s)^α, applied to semiasync merges and to deadline-reuse
+	// banked uploads. Zero (the unset value) means the 0.5 default
 	// (FedBuff's square-root discount); a negative value disables the
 	// discount entirely (α = 0, every stale update at full weight), which
 	// a staleness ablation needs to be able to express.
@@ -126,16 +134,22 @@ func (c *Config) validate() error {
 // Commit summarises one aggregation: its ledger round number, the virtual
 // time it happened at, and how the dispatches it covered were finalised.
 type Commit struct {
-	Round   int
-	Time    float64
-	Merged  int // updates aggregated into the global model
-	Failed  int // capacity failures (no derivable member fit)
-	Late    int // uploads discarded for missing the round close
-	Dropped int // clients that went offline mid-flight
+	Round  int
+	Time   float64
+	Merged int // updates aggregated into the global model (reused included)
+	Failed int // capacity failures (no derivable member fit)
+	Late   int // uploads discarded for missing the round close
+	// LateReused counts uploads that missed their round close but were
+	// banked and merged into this aggregation with a staleness discount
+	// (deadline-reuse). They are included in Merged.
+	LateReused int
+	Dropped    int // clients that went offline mid-flight
 }
 
-// stalenessDiscount is the semiasync weight multiplier 1/(1+s)^α.
-func stalenessDiscount(stale int, exp float64) float64 {
+// StalenessDiscount is the weight multiplier 1/(1+s)^α applied to an
+// update merged s aggregations after its dispatch (semiasync buffering,
+// deadline-reuse banking). exp ≤ 0 or s ≤ 0 leave the weight untouched.
+func StalenessDiscount(stale int, exp float64) float64 {
 	if stale <= 0 {
 		return 1
 	}

@@ -23,6 +23,13 @@ func testModelCfg() models.Config {
 // twice with the same arguments yields bit-identical populations.
 func buildServer(t *testing.T, n, k int, seed int64) *core.Server {
 	t.Helper()
+	return buildServerCfg(t, n, k, seed, nil)
+}
+
+// buildServerCfg is buildServer with a final say over the server config
+// (codec, estimate mode, …) before construction.
+func buildServerCfg(t *testing.T, n, k int, seed int64, mutate func(*core.Config)) *core.Server {
+	t.Helper()
 	pool, err := prune.BuildPool(testModelCfg(), prune.Config{P: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -37,12 +44,16 @@ func buildServer(t *testing.T, n, k int, seed int64) *core.Server {
 	for i := range clients {
 		clients[i] = &core.Client{ID: i, Data: train.Subset(parts[i]), Device: devices[i]}
 	}
-	srv, err := core.NewServer(core.Config{
+	ccfg := core.Config{
 		Model: testModelCfg(), Pool: prune.Config{P: 3},
 		ClientsPerRound: k,
 		Train:           core.TrainConfig{LocalEpochs: 1, BatchSize: 12, LR: 0.02, Momentum: 0.5},
 		Seed:            seed, Parallelism: k,
-	}, clients)
+	}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	srv, err := core.NewServer(ccfg, clients)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +123,7 @@ func TestSyncPolicyMatchesLegacyRound(t *testing.T) {
 // policy, the same seed and trace must yield an identical event log and an
 // identical final global state.
 func TestSchedulerDeterministic(t *testing.T) {
-	policies := []sched.Policy{sched.Sync, sched.Deadline, sched.SemiAsync}
+	policies := []sched.Policy{sched.Sync, sched.Deadline, sched.DeadlineReuse, sched.SemiAsync}
 	commits := 2
 	for _, policy := range policies {
 		run := func() ([]string, map[string]float64) {
@@ -307,7 +318,7 @@ func TestSerialParallelBitIdentity(t *testing.T) {
 	if testing.Short() {
 		commits = 2
 	}
-	for _, policy := range []sched.Policy{sched.Sync, sched.Deadline, sched.SemiAsync} {
+	for _, policy := range []sched.Policy{sched.Sync, sched.Deadline, sched.DeadlineReuse, sched.SemiAsync} {
 		run := func(par int) ([]string, map[string]float64, []core.RoundStats, *core.Server) {
 			srv := buildServer(t, 6, 3, 43)
 			trace := &sched.RandomTrace{Seed: 99, MeanOn: 40, MeanOff: 5, SlowProb: 0.5, SlowFactor: 10}
@@ -439,6 +450,9 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("Epochs=0 accepted")
 	}
 	if _, err := sched.ParsePolicy("deadline"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.ParsePolicy("deadline-reuse"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -26,6 +26,10 @@ func (Raw) Encode(st, _ nn.State) ([]byte, error) { return persist.EncodeToBytes
 // Decode implements Codec.
 func (Raw) Decode(data []byte, _ nn.State) (nn.State, error) { return persist.DecodeFromBytes(data) }
 
+// EstimateSize implements SizeEstimator: 8 bytes per float64 value (gzip
+// buys almost nothing on trained-weight mantissas) plus header headroom.
+func (Raw) EstimateSize(params int64) int64 { return 8*params + estimateHeadroom }
+
 // F32 truncates every value to float32. Error per value is half a
 // float32 ulp: |err| ≤ |v|·2⁻²⁴.
 type F32 struct{}
@@ -41,6 +45,9 @@ func (F32) Tag() string { return TagF32 }
 
 // UsesRef implements Codec.
 func (F32) UsesRef() bool { return false }
+
+// EstimateSize implements SizeEstimator: 4 bytes per value.
+func (F32) EstimateSize(params int64) int64 { return 4*params + estimateHeadroom }
 
 // Encode implements Codec.
 func (F32) Encode(st, _ nn.State) ([]byte, error) {
@@ -102,6 +109,11 @@ func (Q8) Tag() string { return TagQ8 }
 
 // UsesRef implements Codec.
 func (Q8) UsesRef() bool { return false }
+
+// EstimateSize implements SizeEstimator: one byte per quantized value
+// (gzip's win on near-zero levels varies too much with the values to
+// forecast, so the estimate is the uncompressed level stream).
+func (Q8) EstimateSize(params int64) int64 { return params + estimateHeadroom }
 
 // Encode implements Codec.
 func (Q8) Encode(st, _ nn.State) ([]byte, error) {
@@ -264,6 +276,21 @@ func (DeltaTopK) Tag() string { return TagDelta }
 
 // UsesRef implements Codec.
 func (DeltaTopK) UsesRef() bool { return true }
+
+// EstimateSize implements SizeEstimator: Density of the values kept as
+// (uint32 index, float32 value) pairs, capped at the dense-float32
+// fallback the encoder switches to when sparsity would not pay.
+func (d DeltaTopK) EstimateSize(params int64) int64 {
+	density := d.Density
+	if density <= 0 || density > 1 {
+		density = 1
+	}
+	sparse := int64(math.Ceil(density*float64(params))) * 8
+	if dense := 4 * params; sparse > dense {
+		sparse = dense
+	}
+	return sparse + estimateHeadroom
+}
 
 // Encode implements Codec.
 func (d DeltaTopK) Encode(st, ref nn.State) ([]byte, error) {

@@ -1,0 +1,107 @@
+package wire_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+	"adaptivefl/internal/wire"
+)
+
+// estState builds a state dict with params total values of trained-weight
+// shape (noisy, mixed magnitudes) so encoded sizes behave like real
+// uploads rather than like compressible constants.
+func estState(params int) nn.State {
+	rng := rand.New(rand.NewSource(17))
+	st := nn.State{}
+	half := params / 2
+	mk := func(n int) *tensor.Tensor {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 0.05
+		}
+		return tensor.FromSlice(vals, n)
+	}
+	st["a.weight"] = mk(half)
+	st["b.weight"] = mk(params - half)
+	return st
+}
+
+// TestEstimateSizeDeterministic pins the estimator contract: a pure
+// function of the parameter count, identical across calls.
+func TestEstimateSizeDeterministic(t *testing.T) {
+	for _, tag := range wire.Tags() {
+		c, err := wire.ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := wire.EstimateSize(c, 10000)
+		b := wire.EstimateSize(c, 10000)
+		if a != b {
+			t.Fatalf("%s: estimate not deterministic (%d vs %d)", tag, a, b)
+		}
+		if a <= 0 {
+			t.Fatalf("%s: non-positive estimate %d", tag, a)
+		}
+	}
+}
+
+// TestEstimateSizeOrdering pins the relative sizes the codecs are built
+// for: delta(10%, 0.8 B/param) < q8 (1 B/param) < f32 < raw at a fixed
+// parameter count.
+func TestEstimateSizeOrdering(t *testing.T) {
+	const n = 50000
+	est := func(tag string) int64 {
+		c, err := wire.ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wire.EstimateSize(c, n)
+	}
+	q8, delta, f32, raw := est(wire.TagQ8), est(wire.TagDelta), est(wire.TagF32), est(wire.TagRaw)
+	if !(delta < q8 && q8 < f32 && f32 < raw) {
+		t.Fatalf("estimate ordering violated: delta=%d q8=%d f32=%d raw=%d", delta, q8, f32, raw)
+	}
+}
+
+// TestEstimateTracksActual requires each built-in estimator to land
+// within a factor of the actual encoded size on a realistic state — the
+// pricing error a scheduler's estimate mode accepts must stay bounded.
+func TestEstimateTracksActual(t *testing.T) {
+	const params = 20000
+	st := estState(params)
+	for _, tag := range []string{wire.TagRaw, wire.TagF32, wire.TagQ8} {
+		c, err := wire.ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := c.Encode(st, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := int64(len(enc))
+		est := wire.EstimateSize(c, params)
+		if est < actual/3 || est > actual*3 {
+			t.Fatalf("%s: estimate %d vs actual %d outside 3x band", tag, est, actual)
+		}
+	}
+}
+
+// TestEstimateSizeFallback: a codec without its own estimator prices at
+// the raw 8-bytes-per-value baseline.
+func TestEstimateSizeFallback(t *testing.T) {
+	got := wire.EstimateSize(noEstimator{}, 1000)
+	if want := wire.EstimateSize(wire.Raw{}, 1000); got != want {
+		t.Fatalf("fallback estimate %d, want raw's %d", got, want)
+	}
+}
+
+// noEstimator is a minimal codec that does not implement SizeEstimator
+// (no embedding — a promoted EstimateSize would defeat the test).
+type noEstimator struct{}
+
+func (noEstimator) Tag() string                                   { return "noest" }
+func (noEstimator) UsesRef() bool                                 { return false }
+func (noEstimator) Encode(st, _ nn.State) ([]byte, error)         { return wire.Raw{}.Encode(st, nil) }
+func (noEstimator) Decode(b []byte, _ nn.State) (nn.State, error) { return wire.Raw{}.Decode(b, nil) }
