@@ -9,6 +9,13 @@
 //	        [-sched sync|deadline|deadline-reuse|semiasync] \
 //	        [-trace straggler|churn|always] [-codec q8 [-wire-estimate]]
 //
+// With -pop a parametric population spec replaces the experiment tables:
+// the fleet is generated lazily (core.ParsePopulation grammar) and driven
+// through the event engine — or, with -edges N > 1, through the two-tier
+// edge hierarchy — for -sim-seconds of virtual time:
+//
+//	flbench -pop 'mix:n=1000000,weak=0.6,churn=30' -sched semiasync -edges 8
+//
 // With -bench-json the scheduler policies are measured (ns/round,
 // allocs/round) instead; -bench-baseline diffs the fresh numbers against a
 // committed baseline and exits non-zero past -bench-tol regression.
@@ -23,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/sched"
@@ -44,6 +52,10 @@ func main() {
 		benchOut  = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
 		benchBase = flag.String("bench-baseline", "", "with -bench-json: compare the fresh measurements against this committed baseline and fail on regression")
 		benchTol  = flag.Float64("bench-tol", 0.25, "with -bench-baseline: allowed relative ns/round regression before failing (0.25 = +25%)")
+		popSpec   = flag.String("pop", "", "parametric population spec (core.ParsePopulation grammar, e.g. 'mix:n=1000000,weak=0.6,churn=30'); runs a lazy-population simulation instead of the experiment tables")
+		edges     = flag.Int("edges", 1, "with -pop: number of edge aggregators in the two-tier hierarchy (1 = flat)")
+		simSecs   = flag.Float64("sim-seconds", 86400, "with -pop: virtual-time horizon of the simulation (default one simulated day)")
+		timeScale = flag.Float64("time-scale", 0, "with -pop: multiply every priced duration by this factor (0 = auto-calibrate the reduced bench model to a realistic fleet round cadence)")
 	)
 	flag.Parse()
 
@@ -69,6 +81,18 @@ func main() {
 			if err := compareSchedBench(*benchBase, fresh, *benchTol); err != nil {
 				fatal(err)
 			}
+		}
+		return
+	}
+	if *popSpec != "" {
+		if *schedP != "" {
+			if _, err := sched.ParsePolicy(*schedP); err != nil {
+				fatal(err)
+			}
+			sc.Sched = *schedP
+		}
+		if err := runPopSim(*popSpec, sc, *edges, *simSecs, *timeScale); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -305,11 +329,89 @@ func writeSchedBench(path string, sc exp.Scale) (schedBenchFile, error) {
 		fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/round %8d allocs/round (%d rounds)\n",
 			policy, res.NsPerRound, res.AllocsPerRound, res.Rounds)
 	}
+	if err := benchMillionClients(&out, s); err != nil {
+		return out, err
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return out, err
 	}
 	return out, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// popBenchSimSeconds is the virtual window of the clients=1e6 bench row:
+// long enough for a handful of global commits, short enough to keep the
+// wall cost a small fraction of the policy sweep.
+const popBenchSimSeconds = 240
+
+// benchMillionClients records the lazy-population fleet at full scale as
+// an extra row of the bench file: a million-client spec driven through
+// the semiasync engine for a short simulated window, cost reported per
+// commit. The "clients=1e6" key is not in exp.SchedPolicies, so
+// compareSchedBench records it in the artifact without ever gating on it
+// — the row tracks the scaling path's cost over time, advisory only.
+func benchMillionClients(out *schedBenchFile, s exp.Scale) error {
+	spec, err := core.ParsePopulation("mix:n=1000000,weak=0.6,churn=30")
+	if err != nil {
+		return err
+	}
+	run := s
+	run.Sched = "semiasync"
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := exp.RunPopSim(nil, spec, run, 1, popBenchSimSeconds, 0)
+	if err != nil {
+		return fmt.Errorf("clients=1e6: %w", err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(res.Commits)
+	if n < 1 {
+		n = 1
+	}
+	row := schedBenchResult{
+		NsPerRound:     elapsed.Nanoseconds() / n,
+		AllocsPerRound: int64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerRound:  int64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		Rounds:         res.Commits,
+	}
+	out.Policies["clients=1e6"] = row
+	fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/commit %8d allocs/commit (%d commits, live=%d made=%d)\n",
+		"clients=1e6", row.NsPerRound, row.AllocsPerRound, res.Commits, res.Live, res.TotalMade)
+	return nil
+}
+
+// runPopSim parses a population spec and drives it through the lazy
+// population simulator, printing a one-line summary. The weights hash is
+// the determinism witness: the same flags and seed reproduce it exactly.
+func runPopSim(specStr string, sc exp.Scale, edges int, simSeconds, timeScale float64) error {
+	spec, err := core.ParsePopulation(specStr)
+	if err != nil {
+		return err
+	}
+	if spec.N < 1 {
+		spec.N = 1_000_000
+	}
+	policy := sc.Sched
+	if policy == "" {
+		policy = "semiasync"
+	}
+	start := time.Now()
+	res, err := exp.RunPopSim(os.Stderr, spec, sc, edges, simSeconds, timeScale)
+	if err != nil {
+		return err
+	}
+	// stdout carries only deterministic fields: two same-seed runs must be
+	// byte-identical, which is what the CI smoke job diffs. Wall time goes
+	// to stderr.
+	fmt.Printf("popsim clients=%d edges=%d policy=%s sim=%.0fs commits=%d edge-commits=%d live=%d made=%d rl-rows=%d mix=%d/%d/%d weights=%016x\n",
+		res.Clients, res.Edges, policy, res.SimTime, res.Commits, res.EdgeCommits,
+		res.Live, res.TotalMade, res.RLRows, res.Mix[0], res.Mix[1], res.Mix[2],
+		res.WeightsHash)
+	fmt.Fprintf(os.Stderr, "flbench: popsim wall %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func fatal(err error) {

@@ -101,22 +101,16 @@ func anchorSizes(pool *prune.Pool) (s, m, l int64) {
 	return s, m, l
 }
 
-// NewPopulation builds n devices with the given weak:medium:strong
-// proportions (they are normalised internally; the paper's default is
-// 4:3:3). Devices are assigned round-robin by cumulative share so the
-// realised mix matches the requested one as closely as possible.
-func NewPopulation(rng *rand.Rand, n int, proportions [3]float64, pool *prune.Pool, dm DeviceModel) []*Device {
-	total := proportions[0] + proportions[1] + proportions[2]
-	if total <= 0 {
-		panic("core: proportions must sum to a positive value")
-	}
+// classBases computes the per-class base capacities a pool and device
+// model imply. The class contract is "weak never fits an M model, medium
+// never fits L_1". Level sizes can interleave (for ResNet/MobileNet the
+// S_1 submodel outweighs M_3 because late stages dominate parameters), so
+// clamp each class's base capacity below the next level's smallest member
+// even at maximum positive jitter. Both the eager NewPopulation and the
+// lazy generator derive capacities here, so the arithmetic stays shared.
+func classBases(pool *prune.Pool, dm DeviceModel) [3]int64 {
 	sAnchor, mAnchor, lAnchor := anchorSizes(pool)
-	// The class contract is "weak never fits an M model, medium never fits
-	// L_1". Level sizes can interleave (for ResNet/MobileNet the S_1
-	// submodel outweighs M_3 because late stages dominate parameters), so
-	// clamp each class's base capacity below the next level's smallest
-	// member even at maximum positive jitter.
-	minM, minL := lAnchor, lAnchor
+	minM := lAnchor
 	for _, mem := range pool.Members {
 		if mem.Level == prune.LevelM && mem.Size < minM {
 			minM = mem.Size
@@ -129,9 +123,23 @@ func NewPopulation(rng *rand.Rand, n int, proportions [3]float64, pool *prune.Po
 		}
 		return int64(base)
 	}
-	weakBase := clamp(float64(sAnchor)*dm.WeakFactor, minM)
-	mediumBase := clamp(float64(mAnchor)*dm.MediumFactor, minL)
-	strongBase := int64(float64(lAnchor) * dm.StrongFactor)
+	var bases [3]int64
+	bases[Weak] = clamp(float64(sAnchor)*dm.WeakFactor, minM)
+	bases[Medium] = clamp(float64(mAnchor)*dm.MediumFactor, lAnchor)
+	bases[Strong] = int64(float64(lAnchor) * dm.StrongFactor)
+	return bases
+}
+
+// NewPopulation builds n devices with the given weak:medium:strong
+// proportions (they are normalised internally; the paper's default is
+// 4:3:3). Devices are assigned round-robin by cumulative share so the
+// realised mix matches the requested one as closely as possible.
+func NewPopulation(rng *rand.Rand, n int, proportions [3]float64, pool *prune.Pool, dm DeviceModel) []*Device {
+	total := proportions[0] + proportions[1] + proportions[2]
+	if total <= 0 {
+		panic("core: proportions must sum to a positive value")
+	}
+	bases := classBases(pool, dm)
 	devices := make([]*Device, n)
 	acc := 0.0
 	counts := [3]int{}
@@ -148,18 +156,9 @@ func NewPopulation(rng *rand.Rand, n int, proportions [3]float64, pool *prune.Po
 			class = Strong
 		}
 		counts[class]++
-		var base int64
-		switch class {
-		case Weak:
-			base = weakBase
-		case Medium:
-			base = mediumBase
-		case Strong:
-			base = strongBase
-		}
 		devices[i] = &Device{
 			Class:  class,
-			Base:   base,
+			Base:   bases[class],
 			Jitter: dm.Jitter,
 			rng:    rand.New(rand.NewSource(rng.Int63())),
 		}

@@ -188,14 +188,14 @@ func (st *RoundStats) Add(d Dispatch) {
 
 // Server is the AdaptiveFL cloud server.
 type Server struct {
-	cfg     Config
-	pool    *prune.Pool
-	tables  *rl.Tables
-	clients []*Client
-	global  nn.State
-	rng     *rand.Rand
-	round   int
-	stats   []RoundStats
+	cfg    Config
+	pool   *prune.Pool
+	tables *rl.Tables
+	pop    Population
+	global nn.State
+	rng    *rand.Rand
+	round  int
+	stats  []RoundStats
 
 	// version counts aggregations applied to the global model; each
 	// in-flight dispatch anchors to the version it was cut from, which is
@@ -213,16 +213,27 @@ type Server struct {
 }
 
 // NewServer validates the configuration, builds the model pool, the RL
-// tables and the initial full-width global model.
+// tables and the initial full-width global model. The clients slice is the
+// legacy eager population; NewServerPopulation takes any Population.
 func NewServer(cfg Config, clients []*Client) (*Server, error) {
-	if len(clients) == 0 {
+	return NewServerPopulation(cfg, EagerPopulation(clients))
+}
+
+// NewServerPopulation is NewServer over an abstract Population. An eager
+// population keeps the legacy dense RL tables and permutation-based
+// selection bit-identically; any other population (the lazy generator, a
+// shard view) gets sparse RL tables whose rows allocate on first touch,
+// so server memory scales with the set of clients ever selected rather
+// than the population.
+func NewServerPopulation(cfg Config, pop Population) (*Server, error) {
+	if pop == nil || pop.Len() == 0 {
 		return nil, fmt.Errorf("core: no clients")
 	}
 	if cfg.ClientsPerRound < 1 {
 		return nil, fmt.Errorf("core: ClientsPerRound must be >= 1")
 	}
-	if cfg.ClientsPerRound > len(clients) {
-		return nil, fmt.Errorf("core: ClientsPerRound %d exceeds population %d", cfg.ClientsPerRound, len(clients))
+	if cfg.ClientsPerRound > pop.Len() {
+		return nil, fmt.Errorf("core: ClientsPerRound %d exceeds population %d", cfg.ClientsPerRound, pop.Len())
 	}
 	if err := cfg.Train.validate(); err != nil {
 		return nil, err
@@ -235,11 +246,15 @@ func NewServer(cfg Config, clients []*Client) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tables := rl.NewTables(cfg.RL, pool.P, len(pool.Members), pop.Len())
+	if _, eager := pop.(EagerPopulation); !eager {
+		tables = rl.NewSparseTables(cfg.RL, pool.P, len(pool.Members), pop.Len())
+	}
 	s := &Server{
 		cfg:      cfg,
 		pool:     pool,
-		tables:   rl.NewTables(cfg.RL, pool.P, len(pool.Members), len(clients)),
-		clients:  clients,
+		tables:   tables,
+		pop:      pop,
 		global:   nn.StateDict(full),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		inflight: map[int64]*Flight{},
@@ -263,8 +278,23 @@ func (s *Server) Global() nn.State { return s.global }
 // Stats returns the per-round communication ledger.
 func (s *Server) Stats() []RoundStats { return s.stats }
 
-// Clients returns the client population (read-only use intended).
-func (s *Server) Clients() []*Client { return s.clients }
+// Clients returns the eager client slice, or nil for generated
+// populations — scale-aware callers use NumClients/ClientAt instead.
+func (s *Server) Clients() []*Client {
+	if p, ok := s.pop.(EagerPopulation); ok {
+		return p
+	}
+	return nil
+}
+
+// Population returns the server's client population.
+func (s *Server) Population() Population { return s.pop }
+
+// NumClients returns the population size.
+func (s *Server) NumClients() int { return s.pop.Len() }
+
+// ClientAt returns client c, materialising it if the population is lazy.
+func (s *Server) ClientAt(c int) *Client { return s.pop.Client(c) }
 
 // GlobalModel materialises the current global model at full width.
 func (s *Server) GlobalModel() (*models.Model, error) {
@@ -421,12 +451,21 @@ func (f *Flight) Dispatch() Dispatch {
 // PlanSlots runs Algorithm 1's selection phase for up to k dispatches over
 // the clients for which eligible returns true (nil means everyone): random
 // model selection, RL client selection with shrinking candidates, and one
-// training seed per slot. It consumes the server rng in exactly the order
-// the synchronous Round always has, so an event-driven replay of the sync
-// policy is bit-identical. Fewer than k slots come back when fewer clients
-// are eligible.
+// training seed per slot. On an eager population it consumes the server
+// rng in exactly the order the synchronous Round always has, so an
+// event-driven replay of the sync policy is bit-identical; a
+// CandidateSampler population draws a bounded candidate sample instead
+// (still purely from the server rng, so still deterministic) because
+// permuting a million-client fleet per selection is the O(N) cost this
+// refactor removes. Fewer than k slots come back when fewer clients are
+// eligible.
 func (s *Server) PlanSlots(k int, eligible func(int) bool) []Slot {
-	candidates := s.rng.Perm(len(s.clients))
+	var candidates []int
+	if cs, ok := s.pop.(CandidateSampler); ok {
+		candidates = cs.SampleCandidates(s.rng, k)
+	} else {
+		candidates = s.rng.Perm(s.pop.Len())
+	}
 	if eligible != nil {
 		kept := candidates[:0]
 		for _, c := range candidates {
@@ -514,8 +553,14 @@ func (s *Server) RoundTrainer(slots []Slot) (Trainer, error) {
 // OpenFlight registers a dispatch in the in-flight set and anchors its
 // staleness to the current global version. Flight IDs are assigned in call
 // order, so open flights deterministically (single goroutine) and Execute
-// them concurrently.
+// them concurrently. On a pinning population the client is pinned for the
+// flight's lifetime: it is materialised here, on the opener's goroutine,
+// so worker-side reads never influence (or race) the population's
+// eviction order.
 func (s *Server) OpenFlight(sl Slot) *Flight {
+	if p, ok := s.pop.(Pinner); ok {
+		p.Pin(sl.Client)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -560,7 +605,7 @@ func (s *Server) Plan(trainer Trainer, f *Flight) (*FlightPlan, error) {
 	if !ok {
 		return nil, nil
 	}
-	client := s.clients[f.Slot.Client]
+	client := s.pop.Client(f.Slot.Client)
 	got, fit := s.pool.LargestFit(f.Slot.Sent, client.Device.Capacity())
 	pl := &FlightPlan{Got: got, Failed: !fit, UpBytesKnown: s.cfg.Codec == nil}
 	if !fit {
@@ -641,11 +686,18 @@ func (s *Server) ExecuteAsync(x *Executor, trainer Trainer, f *Flight) {
 
 // Release removes a flight from the in-flight set (its upload arrived, was
 // dropped, or the run is abandoning it). The client becomes selectable
-// again.
+// again — and, on a pinning population, evictable again.
 func (s *Server) Release(f *Flight) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, open := s.inflight[f.ID]
 	delete(s.inflight, f.ID)
+	s.mu.Unlock()
+	if !open {
+		return
+	}
+	if p, ok := s.pop.(Pinner); ok {
+		p.Unpin(f.Slot.Client)
+	}
 }
 
 // InFlight returns the number of open flights.
@@ -736,6 +788,16 @@ func (s *Server) ApplyUpdates(updates []agg.Update) error {
 	s.global = next
 	s.version++
 	return nil
+}
+
+// SyncGlobal replaces the global model with an externally aggregated
+// state and bumps the version, exactly as ApplyUpdates would. A two-tier
+// topology down-syncs each edge server from the global tier's merges this
+// way; in-flight dispatches keep training on their captured snapshots and
+// simply read as one aggregation staler.
+func (s *Server) SyncGlobal(st nn.State) {
+	s.global = st
+	s.version++
 }
 
 // NextRound advances and returns the round counter (ledger numbering).
@@ -930,7 +992,7 @@ func (lt localTrainer) preFor(sub prune.Submodel, global nn.State) (preDispatch,
 // trainGot runs local training of the resolved pool member and, with a
 // codec configured, round-trips the upload through the wire encoding.
 func (lt localTrainer) trainGot(clientID int, got prune.Submodel, sentState nn.State, seed int64) (nn.State, int64, int, error) {
-	client := lt.s.clients[clientID]
+	client := lt.s.pop.Client(clientID)
 	rng := rand.New(rand.NewSource(seed))
 	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
 	if err != nil {
@@ -985,7 +1047,7 @@ func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentStat
 	if lt.s.cfg.Codec != nil {
 		tag = lt.s.cfg.Codec.Tag()
 	}
-	client := lt.s.clients[clientID]
+	client := lt.s.pop.Client(clientID)
 	capacity := client.Device.Capacity()
 	got, ok := lt.s.pool.LargestFit(sent, capacity)
 	if !ok {

@@ -1,0 +1,298 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/data"
+	"adaptivefl/internal/models"
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/prune"
+	"adaptivefl/internal/rl"
+	"adaptivefl/internal/sched"
+	"adaptivefl/internal/testbed"
+)
+
+// PopSimResult summarises one generated-population simulation.
+type PopSimResult struct {
+	Clients int
+	Edges   int
+	// SimTime is the virtual time reached (seconds); Commits the global
+	// aggregations performed by then (edge-tier commits under a
+	// hierarchy are counted separately).
+	SimTime     float64
+	Commits     int
+	EdgeCommits int
+	// Live / TotalMade audit the lazy population's memory envelope: the
+	// clients currently materialised (LRU + pinned) and the total ever
+	// materialised (total − distinct ≈ regeneration churn).
+	Live      int
+	TotalMade int64
+	// RLRows counts allocated sparse RL columns, summed over servers.
+	RLRows int
+	// WeightsHash fingerprints the final global weights; two same-seed
+	// runs must agree bit-for-bit.
+	WeightsHash uint64
+	// Mix is the realised weak/medium/strong split of the first 10k
+	// clients (a cheap census, not the whole fleet).
+	Mix [3]int
+}
+
+// HashState fingerprints a state dict: FNV-64a over sorted tensor names
+// and raw float64 bits, so any single-bit weight divergence changes it.
+func HashState(st nn.State) uint64 {
+	names := make([]string, 0, len(st))
+	for k := range st {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range names {
+		h.Write([]byte(k))
+		for _, v := range st[k].Data {
+			bits := math.Float64bits(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// popShardGen builds the lazy population's shard generator from the
+// spec's data-distribution family: a WriterSampler whose prototype bank
+// is shared across the fleet and whose per-client shards derive from each
+// client's own seed.
+func popShardGen(spec core.PopulationSpec, sc Scale) (core.ShardGen, error) {
+	dcfg, err := DatasetConfig(spec.Dataset, sc)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := data.NewWriterSampler(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	classesPer := spec.Classes
+	if classesPer <= 0 {
+		classesPer = dcfg.Classes / 3
+		if classesPer < 2 {
+			classesPer = 2
+		}
+	}
+	samples := spec.Samples
+	return func(c int, seed int64) *data.Dataset {
+		d, err := ws.Shard(seed, samples, classesPer, 0.15, 0.15)
+		if err != nil {
+			// The parameters were validated when the first shard was cut;
+			// a later failure would be a programming error.
+			panic(fmt.Sprintf("exp: shard for client %d: %v", c, err))
+		}
+		return d
+	}, nil
+}
+
+// scaledCost multiplies every priced duration of a base cost model by a
+// constant factor. RunPopSim uses it to calibrate virtual time: the
+// reduced-width bench models price a dispatch in milliseconds, which
+// would turn a simulated day into millions of commits; scaling restores
+// a realistic fleet cadence without touching the training math.
+type scaledCost struct {
+	base sched.CostModel
+	f    float64
+}
+
+func (s scaledCost) DispatchTimes(class core.DeviceClass, d core.Dispatch, samples, epochs int) (down, train, up float64) {
+	down, train, up = s.base.DispatchTimes(class, d, samples, epochs)
+	return down * s.f, train * s.f, up * s.f
+}
+
+// calibRound is the virtual cost of one median full-model round under the
+// automatic time scale: the few-minute cadence cross-device deployments
+// observe, which prices a simulated day at a laptop-friendly commit count.
+const calibRound = 180.0
+
+// popCost wraps sim so one Medium-class round trip of the largest pool
+// member (the full global model) costs calibRound virtual seconds. The
+// factor is pure arithmetic on model constants — deterministic. A
+// positive timeScale overrides the calibration with a fixed multiplier.
+func popCost(sim sched.CostModel, pool *prune.Pool, spec core.PopulationSpec, epochs int, timeScale float64) sched.CostModel {
+	if timeScale > 0 {
+		return scaledCost{base: sim, f: timeScale}
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	largest := pool.Largest()
+	d := core.Dispatch{Sent: largest, Got: largest}
+	down, train, up := sim.DispatchTimes(core.Medium, d, spec.Samples, epochs)
+	base := down + train + up
+	if base <= 0 {
+		return sim
+	}
+	return scaledCost{base: sim, f: calibRound / base}
+}
+
+// popServer builds one server over pop with the scale's model and
+// training setup. seed differentiates edges.
+func popServer(mcfg models.Config, pop core.Population, sc Scale, k int, seed int64) (*core.Server, error) {
+	return core.NewServerPopulation(core.Config{
+		Model:           mcfg,
+		Pool:            prune.Config{P: 3},
+		RL:              rl.Config{},
+		ClientsPerRound: k,
+		Train:           sc.TrainConfig(),
+		Seed:            seed,
+		Parallelism:     sc.Parallelism,
+	}, pop)
+}
+
+// RunPopSim runs a parametric population through the event engine for
+// simSeconds of virtual time: spec describes the fleet (size, capability
+// mix, churn, data family), edges > 1 shards it across a two-tier
+// hierarchy (each edge running sc.Sched over its shard, feeding the
+// global semiasync tier), and sc supplies model scale, policy and seeds.
+// timeScale multiplies every priced duration (0 = auto-calibrate to a
+// realistic fleet cadence; see popCost). The run is deterministic: same
+// (spec, sc, edges, timeScale) ⇒ identical weights hash and event logs.
+// Progress lines go to w when non-nil.
+func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSeconds, timeScale float64) (*PopSimResult, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("exp: population spec needs n >= 1 (got %d)", spec.N)
+	}
+	if edges < 1 {
+		edges = 1
+	}
+	if edges > spec.N {
+		return nil, fmt.Errorf("exp: %d edges for %d clients", edges, spec.N)
+	}
+	spec.Seed = sc.Seed + 977
+	mcfg, err := ModelConfig(models.MobileNetV2, spec.Dataset, sc)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := prune.BuildPool(mcfg, prune.Config{P: 3})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := popShardGen(spec, sc)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := core.NewLazyPopulation(spec, pool, core.DefaultDeviceModel(), gen, 0)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := testbed.NewSim(testbed.Table5Platform())
+	if err != nil {
+		return nil, err
+	}
+	cost := popCost(sim, pool, spec, sc.LocalEpochs, timeScale)
+	policy := sc.Sched
+	if policy == "" {
+		policy = "semiasync"
+	}
+	pol, err := sched.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	weak := func(c int) bool { return spec.ClassOf(c) == core.Weak }
+	baseTrace := sched.PopTrace{Spec: spec, SlowOnly: weak}
+
+	res := &PopSimResult{Clients: spec.N, Edges: edges, Mix: spec.MixCounts(min(spec.N, 10_000))}
+	engCfg := func(k int) sched.Config {
+		return sched.Config{Policy: pol, K: k, Epochs: sc.LocalEpochs, Parallelism: sc.Parallelism}
+	}
+
+	if edges == 1 {
+		srv, err := popServer(mcfg, pop, sc, sc.K, sc.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := sched.New(srv, cost, baseTrace, engCfg(sc.K))
+		if err != nil {
+			return nil, err
+		}
+		for eng.Clock() < simSeconds {
+			if _, err := eng.Step(); err != nil {
+				return nil, err
+			}
+			res.Commits++
+			progress(w, eng.Clock(), simSeconds, res.Commits, pop)
+		}
+		res.SimTime = eng.Clock()
+		res.WeightsHash = HashState(srv.Global())
+		res.RLRows = srv.Tables().Rows()
+		res.Live, res.TotalMade = pop.Materialized()
+		return res, nil
+	}
+
+	// Two-tier topology: contiguous shards, one edge server + engine per
+	// shard (distinct seeds → distinct selection streams), all feeding the
+	// global semiasync tier. K is split across edges (at least 1 each).
+	kEdge := sc.K / edges
+	if kEdge < 1 {
+		kEdge = 1
+	}
+	per := spec.N / edges
+	eds := make([]*sched.Edge, edges)
+	for i := 0; i < edges; i++ {
+		n := per
+		if i == edges-1 {
+			n = spec.N - per*(edges-1)
+		}
+		shard, err := core.NewShardPopulation(pop, i*per, n)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := popServer(mcfg, shard, sc, kEdge, sc.Seed+101+1000*int64(i))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := sched.New(srv, cost, sched.OffsetTrace{Base: baseTrace, Offset: i * per}, engCfg(kEdge))
+		if err != nil {
+			return nil, err
+		}
+		eds[i] = &sched.Edge{Srv: srv, Eng: eng}
+	}
+	hier, err := sched.NewHierarchy(eds, cost, sched.HierConfig{Epochs: sc.LocalEpochs})
+	if err != nil {
+		return nil, err
+	}
+	for hier.Clock() < simSeconds {
+		if _, err := hier.Step(); err != nil {
+			return nil, err
+		}
+		res.Commits++
+		progress(w, hier.Clock(), simSeconds, res.Commits, pop)
+	}
+	res.SimTime = hier.Clock()
+	res.WeightsHash = HashState(hier.Global())
+	for _, ed := range eds {
+		res.EdgeCommits += len(ed.Eng.Commits())
+		res.RLRows += ed.Srv.Tables().Rows()
+	}
+	res.Live, res.TotalMade = pop.Materialized()
+	return res, nil
+}
+
+// progress emits an occasional status line (every 64 commits).
+func progress(w io.Writer, clock, horizon float64, commits int, pop *core.LazyPopulation) {
+	if w == nil || commits%64 != 0 {
+		return
+	}
+	live, total := pop.Materialized()
+	fmt.Fprintf(w, "t=%.0fs/%.0fs commits=%d live=%d made=%d\n", clock, horizon, commits, live, total)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -26,23 +26,38 @@ type Config struct {
 }
 
 // Tables holds the two RL tables for a fixed pool and client population.
+// The dense layout allocates both tables up front (the legacy path, and
+// what the exported fields expose); NewSparseTables instead backs the same
+// arithmetic with a per-client column store allocated on first touch, so
+// million-client populations pay for the clients ever selected rather
+// than the population. Every table entry starts at 1 either way, so a
+// never-touched sparse column reads exactly as a fresh dense one.
 type Tables struct {
 	cfg  Config
 	p    int
 	pool int // pool size (2p+1)
-	// Tc[level][client] — selection counts per size level (3 rows).
+	n    int // client population size
+	// Tc[level][client] — selection counts per size level (3 rows). Nil in
+	// sparse mode.
 	Tc [][]float64
 	// Tr[member][client] — training scores per pool member, rows in
-	// ascending pool order.
+	// ascending pool order. Nil in sparse mode.
 	Tr [][]float64
+	// cols is the sparse per-client column store (nil in dense mode): each
+	// column holds one client's Tc and Tr entries. All table arithmetic is
+	// column-local, which is what makes the sparse form bit-identical.
+	cols map[int]*col
+}
+
+// col is one client's column of both tables.
+type col struct {
+	tc []float64 // by level
+	tr []float64 // by pool member
 }
 
 // NewTables initialises both tables to 1, as Algorithm 1 lines 1-2 do.
 func NewTables(cfg Config, p, poolSize, numClients int) *Tables {
-	if cfg.SuccessCap == 0 {
-		cfg.SuccessCap = 0.5
-	}
-	t := &Tables{cfg: cfg, p: p, pool: poolSize}
+	t := newTables(cfg, p, poolSize, numClients)
 	t.Tc = make([][]float64, prune.NumLevels)
 	for i := range t.Tc {
 		t.Tc[i] = ones(numClients)
@@ -54,6 +69,24 @@ func NewTables(cfg Config, p, poolSize, numClients int) *Tables {
 	return t
 }
 
+// NewSparseTables builds map-backed tables whose per-client columns
+// allocate on first write. Reads of untouched clients see the same
+// all-ones initial state dense tables start from, and every update and
+// reward is column-local, so selection under a fixed rng stream is
+// bit-identical to the dense form (the allocation audit test pins this).
+func NewSparseTables(cfg Config, p, poolSize, numClients int) *Tables {
+	t := newTables(cfg, p, poolSize, numClients)
+	t.cols = map[int]*col{}
+	return t
+}
+
+func newTables(cfg Config, p, poolSize, numClients int) *Tables {
+	if cfg.SuccessCap == 0 {
+		cfg.SuccessCap = 0.5
+	}
+	return &Tables{cfg: cfg, p: p, pool: poolSize, n: numClients}
+}
+
 func ones(n int) []float64 {
 	v := make([]float64, n)
 	for i := range v {
@@ -63,7 +96,53 @@ func ones(n int) []float64 {
 }
 
 // NumClients returns the client population size the tables cover.
-func (t *Tables) NumClients() int { return len(t.Tc[0]) }
+func (t *Tables) NumClients() int { return t.n }
+
+// Sparse reports whether the tables use the lazily allocated column store.
+func (t *Tables) Sparse() bool { return t.cols != nil }
+
+// Rows returns the number of allocated client columns: the population in
+// dense mode, the touched-client count in sparse mode (the memory-envelope
+// stat the million-client smoke checks).
+func (t *Tables) Rows() int {
+	if t.cols != nil {
+		return len(t.cols)
+	}
+	return t.n
+}
+
+// colFor returns client c's mutable column, allocating the initial
+// all-ones column on first write. Dense mode never calls it.
+func (t *Tables) colFor(c int) *col {
+	cl, ok := t.cols[c]
+	if !ok {
+		cl = &col{tc: ones(prune.NumLevels), tr: ones(t.pool)}
+		t.cols[c] = cl
+	}
+	return cl
+}
+
+// tcAt / trAt read one table entry in either mode; absent sparse columns
+// read the initial 1.
+func (t *Tables) tcAt(level prune.Level, c int) float64 {
+	if t.Tc != nil {
+		return t.Tc[level][c]
+	}
+	if cl, ok := t.cols[c]; ok {
+		return cl.tc[level]
+	}
+	return 1
+}
+
+func (t *Tables) trAt(i, c int) float64 {
+	if t.Tr != nil {
+		return t.Tr[i][c]
+	}
+	if cl, ok := t.cols[c]; ok {
+		return cl.tr[i]
+	}
+	return 1
+}
 
 // RecordDispatch applies Algorithm 1 lines 12-26 after client c was sent
 // submodel sent and returned submodel got (got == sent when the device did
@@ -72,31 +151,60 @@ func (t *Tables) RecordDispatch(sent, got prune.Submodel, c int) {
 	if c < 0 || c >= t.NumClients() {
 		panic(fmt.Sprintf("rl: client %d out of range", c))
 	}
-	t.Tc[sent.Level][c]++
-	t.Tc[got.Level][c]++
+	// Resolve client c's mutable column in either mode. The dense rows are
+	// laid out [row][client], so the "column" here is a pair of tiny
+	// accessor closures; the arithmetic below is shared verbatim.
+	tc, tr := t.Tc, t.Tr
+	var cc *col
+	if t.cols != nil {
+		cc = t.colFor(c)
+	}
+	addTc := func(level prune.Level, d float64) {
+		if cc != nil {
+			cc.tc[level] += d
+		} else {
+			tc[level][c] += d
+		}
+	}
+	addTr := func(i int, d float64) {
+		if cc != nil {
+			cc.tr[i] += d
+		} else {
+			tr[i][c] += d
+		}
+	}
+	setTr := func(i int, v float64) {
+		if cc != nil {
+			cc.tr[i] = v
+		} else {
+			tr[i][c] = v
+		}
+	}
+	addTc(sent.Level, 1)
+	addTc(got.Level, 1)
 	last := t.pool - 1
 	if got.Index == sent.Index {
 		// No local pruning: the client's capacity is at least size(sent),
 		// so every member from sent upward gains a point...
 		for i := sent.Index; i <= last; i++ {
-			t.Tr[i][c]++
+			addTr(i, 1)
 		}
 		// ...and the trained member gets the p−1 bonus (or L_1, if the
 		// literal reading of line 18 is requested).
 		if t.cfg.LiteralL1Bonus {
-			t.Tr[last][c] += float64(t.p - 1)
+			addTr(last, float64(t.p-1))
 		} else {
-			t.Tr[sent.Index][c] += float64(t.p - 1)
+			addTr(sent.Index, float64(t.p-1))
 		}
 		return
 	}
 	// Local pruning happened: capacity sits between size(got) and the next
 	// larger member. Reward the returned member, progressively penalise
 	// everything above it (−0, −1, −2, …, floored at 0).
-	t.Tr[got.Index][c] += float64(t.p)
+	addTr(got.Index, float64(t.p))
 	tau := 0.0
 	for i := got.Index; i <= last; i++ {
-		t.Tr[i][c] = math.Max(t.Tr[i][c]-tau, 0)
+		setTr(i, math.Max(t.trAt(i, c)-tau, 0))
 		tau++
 	}
 }
@@ -106,7 +214,7 @@ func (t *Tables) RecordDispatch(sent, got prune.Submodel, c int) {
 func (t *Tables) ResourceReward(m prune.Submodel, pool *prune.Pool, c int) float64 {
 	total := 0.0
 	for i := 0; i < t.pool; i++ {
-		total += t.Tr[i][c]
+		total += t.trAt(i, c)
 	}
 	if total <= 0 {
 		return 0
@@ -115,7 +223,7 @@ func (t *Tables) ResourceReward(m prune.Submodel, pool *prune.Pool, c int) float
 	tail := 0.0
 	tails := make([]float64, t.pool)
 	for i := t.pool - 1; i >= 0; i-- {
-		tail += t.Tr[i][c]
+		tail += t.trAt(i, c)
 		tails[i] = tail
 	}
 	levelMembers := pool.ByLevel(m.Level)
@@ -128,7 +236,7 @@ func (t *Tables) ResourceReward(m prune.Submodel, pool *prune.Pool, c int) float
 
 // CuriosityReward computes R_c(m, c) = 1/√T_c[level(m)][c] (MBIE-EB).
 func (t *Tables) CuriosityReward(m prune.Submodel, c int) float64 {
-	return 1 / math.Sqrt(t.Tc[m.Level][c])
+	return 1 / math.Sqrt(t.tcAt(m.Level, c))
 }
 
 // Reward combines the two: R = min(cap, R_s) · R_c (paper's 50% success

@@ -1,0 +1,70 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSparseTablesMatchDense drives identical dispatch histories through
+// dense and sparse tables and requires every reward and selection read to
+// agree bit-for-bit — the arithmetic is column-local, so the backing
+// layout must be unobservable.
+func TestSparseTablesMatchDense(t *testing.T) {
+	pool := testPool(t)
+	const n = 12
+	dense := NewTables(Config{}, 3, len(pool.Members), n)
+	sparse := NewSparseTables(Config{}, 3, len(pool.Members), n)
+	if dense.Sparse() || !sparse.Sparse() {
+		t.Fatal("table modes mislabelled")
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	touched := map[int]bool{}
+	for step := 0; step < 200; step++ {
+		c := rng.Intn(n - 2) // leave clients n-2, n-1 untouched
+		sent := pool.Members[rng.Intn(len(pool.Members))]
+		got := sent
+		if rng.Float64() < 0.5 {
+			got = pool.Members[rng.Intn(sent.Index+1)] // local pruning
+		}
+		dense.RecordDispatch(sent, got, c)
+		sparse.RecordDispatch(sent, got, c)
+		touched[c] = true
+	}
+
+	for c := 0; c < n; c++ {
+		for _, m := range pool.Members {
+			if a, b := dense.ResourceReward(m, pool, c), sparse.ResourceReward(m, pool, c); a != b {
+				t.Fatalf("resource reward (%s, %d): dense %v sparse %v", m.Name(), c, a, b)
+			}
+			if a, b := dense.CuriosityReward(m, c), sparse.CuriosityReward(m, c); a != b {
+				t.Fatalf("curiosity reward (%s, %d): dense %v sparse %v", m.Name(), c, a, b)
+			}
+			if a, b := dense.Reward(m, pool, c), sparse.Reward(m, pool, c); a != b {
+				t.Fatalf("combined reward (%s, %d): dense %v sparse %v", m.Name(), c, a, b)
+			}
+		}
+	}
+
+	// Selection consumes the rng stream identically in both modes.
+	candidates := []int{0, 3, 5, 8, n - 1}
+	r1, r2 := rand.New(rand.NewSource(4)), rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		m := pool.Members[i%len(pool.Members)]
+		for _, mode := range []Mode{ModeCS, ModeC, ModeS, ModeRandom} {
+			a := dense.SelectClient(r1, mode, m, pool, candidates)
+			b := sparse.SelectClient(r2, mode, m, pool, candidates)
+			if a != b {
+				t.Fatalf("selection diverged: mode %v draw %d picked %d vs %d", mode, i, a, b)
+			}
+		}
+	}
+
+	// Only dispatched clients allocated columns; reads alone allocate none.
+	if got := sparse.Rows(); got != len(touched) {
+		t.Fatalf("sparse tables hold %d columns, %d clients were dispatched", got, len(touched))
+	}
+	if dense.Rows() != n {
+		t.Fatalf("dense tables report %d rows, want the population %d", dense.Rows(), n)
+	}
+}

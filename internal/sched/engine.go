@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
@@ -86,6 +87,15 @@ type Engine struct {
 	events eventHeap
 	busy   map[int]bool // client id → has an open flight
 
+	// sampled marks a population too large to scan per decision (it
+	// implements core.CandidateSampler): eligibility checks and window
+	// scans probe a bounded random subset through the engine-owned probe
+	// rng instead of iterating every client. The probe stream is seeded by
+	// a fixed constant and consumed only on the event loop, so runs stay
+	// deterministic.
+	sampled bool
+	probe   *rand.Rand
+
 	log     []string
 	commits []Commit
 
@@ -117,14 +127,17 @@ func New(srv *core.Server, cost CostModel, trace Trace, cfg Config) (*Engine, er
 	if trace == nil {
 		trace = AlwaysOn{}
 	}
-	if cfg.K > len(srv.Clients()) {
-		return nil, fmt.Errorf("sched: K=%d exceeds population %d", cfg.K, len(srv.Clients()))
+	if cfg.K > srv.NumClients() {
+		return nil, fmt.Errorf("sched: K=%d exceeds population %d", cfg.K, srv.NumClients())
 	}
 	exec := srv.Executor()
 	if cfg.Parallelism > 0 {
 		exec = core.NewExecutor(cfg.Parallelism)
 	}
-	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, exec: exec, busy: map[int]bool{}}, nil
+	_, sampled := srv.Population().(core.CandidateSampler)
+	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, exec: exec,
+		busy: map[int]bool{}, sampled: sampled,
+		probe: rand.New(rand.NewSource(0x5851f42d4c957f2d))}, nil
 }
 
 // Clock returns the current virtual time in seconds.
@@ -158,15 +171,31 @@ func (e *Engine) eligible(c int) bool {
 	return up
 }
 
-// countEligible counts currently dispatchable clients.
-func (e *Engine) countEligible() int {
-	n := 0
-	for c := range e.srv.Clients() {
+// probeCount bounds how many random clients a sampled-population engine
+// inspects per eligibility or window scan.
+const probeCount = 64
+
+// anyEligible reports whether some client can receive a dispatch now. On
+// a sampled population it probes probeCount random clients instead of
+// scanning the fleet — with any realistic on-share, missing every up
+// client 64 times in a row is negligible, and a miss only delays the
+// dispatch to the next wake-up, never corrupts state.
+func (e *Engine) anyEligible() bool {
+	if e.sampled {
+		n := e.srv.NumClients()
+		for i := 0; i < probeCount; i++ {
+			if e.eligible(e.probe.Intn(n)) {
+				return true
+			}
+		}
+		return false
+	}
+	for c := 0; c < e.srv.NumClients(); c++ {
 		if e.eligible(c) {
-			n++
+			return true
 		}
 	}
-	return n
+	return false
 }
 
 // nextOffline returns the first time in [t, horizon) at which client c is
@@ -254,7 +283,7 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 		}
 		d := cf.Dispatch() // the plan view: training has not run
 		c := d.Client
-		cl := e.srv.Clients()[c]
+		cl := e.srv.ClientAt(c)
 		down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
 		t, dropped := e.transferEnd(c, e.clock, down)
 		if !dropped {
@@ -288,7 +317,7 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 				return nil, fmt.Errorf("sched: t=%.3f client %d: %w", e.clock, cf.Slot.Client, err)
 			}
 			d := cf.Dispatch()
-			cl := e.srv.Clients()[d.Client]
+			cl := e.srv.ClientAt(d.Client)
 			down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
 			var t float64
 			var dropped bool
@@ -338,10 +367,26 @@ func (e *Engine) release(fl *flight) {
 }
 
 // nextWindowOpen returns the earliest time a currently-offline, not-busy
-// client comes back up, or +Inf if none is offline.
+// client comes back up, or +Inf if none is offline. A sampled population
+// probes: the probed minimum upper-bounds the true one, which only delays
+// a wake-up — every probed down client yields a finite bound, so progress
+// is preserved whenever the fleet is mostly offline.
 func (e *Engine) nextWindowOpen() float64 {
 	open := math.Inf(1)
-	for c := range e.srv.Clients() {
+	if e.sampled {
+		n := e.srv.NumClients()
+		for i := 0; i < probeCount; i++ {
+			c := e.probe.Intn(n)
+			if e.busy[c] {
+				continue
+			}
+			if up, _, until := e.trace.Window(c, e.clock); !up && until < open {
+				open = until
+			}
+		}
+		return open
+	}
+	for c := 0; c < e.srv.NumClients(); c++ {
 		if e.busy[c] {
 			continue
 		}
@@ -358,7 +403,7 @@ func (e *Engine) nextWindowOpen() float64 {
 // fails if nothing can ever become eligible again.
 func (e *Engine) waitEligible() error {
 	for {
-		if e.countEligible() > 0 {
+		if e.anyEligible() {
 			return nil
 		}
 		tNext := math.Inf(1)
@@ -367,13 +412,8 @@ func (e *Engine) waitEligible() error {
 		}
 		// A down client's window end is the other signal that can change
 		// eligibility.
-		for c := range e.srv.Clients() {
-			if e.busy[c] {
-				continue
-			}
-			if up, _, until := e.trace.Window(c, e.clock); !up && until < tNext {
-				tNext = until
-			}
+		if open := e.nextWindowOpen(); open < tNext {
+			tNext = open
 		}
 		if math.IsInf(tNext, 1) {
 			return fmt.Errorf("sched: stalled at t=%.3f — no client can become available", e.clock)
@@ -726,8 +766,20 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 	}
 }
 
+// Compactor is implemented by traces that can discard timeline state
+// wholly behind a time bound (RandomTrace's generated segments). The
+// engine's clock is monotonic and every trace query it issues is at or
+// after the current clock, so Step retires everything behind the clock
+// before advancing — without this, generated timelines grow O(time).
+type Compactor interface {
+	Retire(t float64)
+}
+
 // Step advances the schedule until the next aggregation and returns it.
 func (e *Engine) Step() (Commit, error) {
+	if c, ok := e.trace.(Compactor); ok {
+		c.Retire(e.clock)
+	}
 	switch e.cfg.Policy {
 	case Sync:
 		return e.stepSync()

@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"adaptivefl/internal/agg"
+	"adaptivefl/internal/core"
+	"adaptivefl/internal/nn"
+)
+
+// Edge is one edge aggregator of a two-tier topology: its own core.Server
+// over a client shard, driven by its own Engine (any policy, its own
+// seeded event queue). The hierarchy steps edges in virtual-time order
+// and treats their commits as uploads into the global tier.
+type Edge struct {
+	Srv *core.Server
+	Eng *Engine
+
+	id int
+	// anchor is the global version the edge last down-synced from; the
+	// global tier discounts the edge's uploads by how many global merges
+	// happened since (the same staleness currency the flat semiasync
+	// policy uses for clients).
+	anchor int
+	// pendingSync marks that a global merge happened since the edge last
+	// ran; the next step down-syncs the edge's model first.
+	pendingSync bool
+}
+
+// HierConfig tunes the global tier.
+type HierConfig struct {
+	// GlobalBuffer is the number of edge updates per global merge
+	// (semiasync-style buffering). Default max(1, edges/2).
+	GlobalBuffer int
+	// StalenessExp is the global tier's staleness-discount exponent α in
+	// 1/(1+s)^α. Zero means the 0.5 default; negative disables.
+	StalenessExp float64
+	// Epochs is only used to price the edge→cloud uplink through the cost
+	// model's interface. Default 1.
+	Epochs int
+}
+
+// GlobalCommit is one global-tier merge.
+type GlobalCommit struct {
+	Round  int     // global version after the merge
+	Time   float64 // virtual arrival time of the update that filled the buffer
+	Merged int     // edge updates aggregated
+}
+
+// arrival is one edge commit in transit to the global tier.
+type arrival struct {
+	t      float64
+	seq    int64
+	edge   int
+	state  nn.State
+	weight float64
+	anchor int
+}
+
+type arrivalHeap []*arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(*arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return a
+}
+
+// Hierarchy is the two-tier federated topology: N edge aggregators, each
+// running its own policy over its own client shard, feed a global
+// semiasync tier. Edge commits become the global tier's "uploads" — the
+// full edge model crossing the backhaul, priced by the same CostModel
+// that prices client dispatches (Strong class, largest pool member) — and
+// merge under sched.StalenessDiscount once GlobalBuffer of them are in.
+//
+// The merge is a conservative discrete-event composition: the hierarchy
+// always advances the edge whose virtual clock is smallest (ties break on
+// edge index), and an in-transit edge update is only folded into the
+// global buffer once every edge clock has passed its arrival time — by
+// then no edge can emit an earlier-arriving update, so global merges
+// happen in true virtual-time order and each edge's next down-sync is
+// causally valid (its clock is already past the merge). Every decision is
+// a deterministic function of the edge seeds, so the same configuration
+// replays the same nested event log and the same global weights.
+type Hierarchy struct {
+	cfg   HierConfig
+	cost  CostModel
+	edges []*Edge
+
+	global   nn.State
+	version  int
+	clock    float64
+	seq      int64
+	arrivals arrivalHeap
+	buffer   []agg.Update
+	buffered int // edge commits currently in the buffer
+
+	log     []string
+	commits []GlobalCommit
+}
+
+// NewHierarchy builds the two-tier topology over prepared edges. cost
+// prices the edge→cloud uplink; the initial global model is edge 0's
+// (all edges are built from the same model config, so they agree).
+func NewHierarchy(edges []*Edge, cost CostModel, cfg HierConfig) (*Hierarchy, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("sched: hierarchy needs at least one edge")
+	}
+	for i, ed := range edges {
+		if ed == nil || ed.Srv == nil || ed.Eng == nil {
+			return nil, fmt.Errorf("sched: edge %d is missing its server or engine", i)
+		}
+		ed.id = i
+	}
+	if cost == nil {
+		return nil, fmt.Errorf("sched: hierarchy needs a cost model")
+	}
+	if cfg.GlobalBuffer <= 0 {
+		cfg.GlobalBuffer = len(edges) / 2
+		if cfg.GlobalBuffer < 1 {
+			cfg.GlobalBuffer = 1
+		}
+	}
+	switch {
+	case cfg.StalenessExp == 0:
+		cfg.StalenessExp = 0.5
+	case cfg.StalenessExp < 0:
+		cfg.StalenessExp = 0
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	return &Hierarchy{cfg: cfg, cost: cost, edges: edges, global: edges[0].Srv.Global()}, nil
+}
+
+// Clock returns the global tier's virtual time (the arrival time of the
+// last update folded into the global buffer).
+func (h *Hierarchy) Clock() float64 { return h.clock }
+
+// Version returns the number of global merges so far.
+func (h *Hierarchy) Version() int { return h.version }
+
+// Global returns the current global-tier model state.
+func (h *Hierarchy) Global() nn.State { return h.global }
+
+// Commits returns the global merges so far.
+func (h *Hierarchy) Commits() []GlobalCommit { return h.commits }
+
+// Log returns the global tier's event log: edge commits entering transit,
+// arrivals folding into the buffer, down-syncs, and global merges. Each
+// edge's own engine log (Edges()[i].Eng.Log()) nests under it — together
+// they are the run's full, deterministic event record.
+func (h *Hierarchy) Log() []string { return h.log }
+
+// Edges exposes the topology (read-only use intended).
+func (h *Hierarchy) Edges() []*Edge { return h.edges }
+
+func (h *Hierarchy) logf(format string, args ...any) {
+	h.log = append(h.log, fmt.Sprintf(format, args...))
+}
+
+// minEdge returns the edge with the smallest virtual clock (ties break on
+// index — deterministic).
+func (h *Hierarchy) minEdge() *Edge {
+	best := h.edges[0]
+	for _, ed := range h.edges[1:] {
+		if ed.Eng.Clock() < best.Eng.Clock() {
+			best = ed
+		}
+	}
+	return best
+}
+
+func (h *Hierarchy) minClock() float64 {
+	min := math.Inf(1)
+	for _, ed := range h.edges {
+		if c := ed.Eng.Clock(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// uplinkTime prices one edge→cloud model upload: the full global-size
+// model (the largest pool member) from a Strong-class endpoint, through
+// the same cost model that prices client dispatches.
+func (h *Hierarchy) uplinkTime(ed *Edge) float64 {
+	largest := ed.Srv.Pool().Largest()
+	d := core.Dispatch{Sent: largest, Got: largest}
+	_, _, up := h.cost.DispatchTimes(core.Strong, d, 1, h.cfg.Epochs)
+	return up
+}
+
+// Step advances the topology until the next global merge and returns it.
+func (h *Hierarchy) Step() (GlobalCommit, error) {
+	for {
+		ed := h.minEdge()
+		if ed.pendingSync {
+			// The edge's clock is past the merge that set the flag (the
+			// conservative drain guarantees it), so syncing now is a causal
+			// downlink, not time travel.
+			ed.Srv.SyncGlobal(h.global)
+			ed.anchor = h.version
+			ed.pendingSync = false
+			h.logf("%.3f down-sync edge=%d version=%d", ed.Eng.Clock(), ed.id, h.version)
+		}
+		c, err := ed.Eng.Step()
+		if err != nil {
+			return GlobalCommit{}, fmt.Errorf("sched: edge %d: %w", ed.id, err)
+		}
+		if c.Merged > 0 {
+			at := ed.Eng.Clock() + h.uplinkTime(ed)
+			h.seq++
+			heap.Push(&h.arrivals, &arrival{t: at, seq: h.seq, edge: ed.id,
+				state: ed.Srv.Global(), weight: float64(c.Merged), anchor: ed.anchor})
+			h.logf("%.3f edge-commit edge=%d round=%d merged=%d arrive=%.3f",
+				ed.Eng.Clock(), ed.id, c.Round, c.Merged, at)
+		}
+		// Fold every in-transit update that no edge can beat anymore.
+		safe := h.minClock()
+		for len(h.arrivals) > 0 && h.arrivals[0].t <= safe {
+			a := heap.Pop(&h.arrivals).(*arrival)
+			h.clock = a.t
+			stale := h.version - a.anchor
+			h.buffer = append(h.buffer, agg.Update{
+				State:  a.state,
+				Weight: a.weight * StalenessDiscount(stale, h.cfg.StalenessExp),
+			})
+			h.buffered++
+			h.logf("%.3f global-arrive edge=%d stale=%d", a.t, a.edge, stale)
+			if h.buffered < h.cfg.GlobalBuffer {
+				continue
+			}
+			next, err := agg.Aggregate(h.global, h.buffer)
+			if err != nil {
+				return GlobalCommit{}, fmt.Errorf("sched: global merge: %w", err)
+			}
+			h.global = next
+			h.version++
+			gc := GlobalCommit{Round: h.version, Time: h.clock, Merged: h.buffered}
+			h.buffer, h.buffered = nil, 0
+			for _, e := range h.edges {
+				e.pendingSync = true
+			}
+			h.commits = append(h.commits, gc)
+			h.logf("%.3f global-commit version=%d merged=%d", gc.Time, gc.Round, gc.Merged)
+			return gc, nil
+		}
+	}
+}
+
+// Run performs n global merges, invoking cb (if non-nil) after each; cb
+// returning false stops early.
+func (h *Hierarchy) Run(n int, cb func(GlobalCommit) bool) error {
+	for i := 0; i < n; i++ {
+		gc, err := h.Step()
+		if err != nil {
+			return err
+		}
+		if cb != nil && !cb(gc) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// OffsetTrace exposes a shard's view of a base trace: local client c maps
+// to base client c+Offset, so every edge of a sharded population reads
+// exactly the availability timeline the flat fleet would. It deliberately
+// does not forward Compactor — edges sit at different virtual times, so
+// one edge retiring behind its own clock could drop state another edge
+// still needs; sharded runs use the stateless PopTrace, which has nothing
+// to retire.
+type OffsetTrace struct {
+	Base   Trace
+	Offset int
+}
+
+// Window implements Trace.
+func (o OffsetTrace) Window(c int, t float64) (bool, float64, float64) {
+	return o.Base.Window(c+o.Offset, t)
+}

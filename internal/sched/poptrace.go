@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"math"
+
+	"adaptivefl/internal/core"
+)
+
+// PopTrace turns a core.PopulationSpec's churn profile into a Trace with
+// O(1) memory and O(1) query time — no per-client rng objects or segment
+// timelines, which RandomTrace needs ≈5 KB of per touched client and
+// which a million-client day cannot afford. Each client lives on a fixed
+// on/off cycle whose durations are the spec's means scaled by a
+// per-client hash jitter in [0.5, 1.5), with a per-client phase offset so
+// the fleet's off-windows decorrelate; whether a given on-window runs
+// slowed is decided by hashing (client, cycle index). Everything is a
+// pure function of (spec seed, client, t), so queries at any time, in any
+// order, from any engine agree — which is also what makes a sharded
+// hierarchy see exactly the availability a flat engine would.
+type PopTrace struct {
+	Spec core.PopulationSpec
+	// SlowOnly restricts slowdown to clients for which it returns true
+	// (nil = every client can slow), mirroring RandomTrace.
+	SlowOnly func(c int) bool
+}
+
+// Hash salts for the trace's independent per-client streams. core's
+// PopulationSpec owns salts 1-9; the trace uses 10+.
+const (
+	saltOnDur  uint64 = 10
+	saltOffDur uint64 = 11
+	saltPhase  uint64 = 12
+	saltSlow   uint64 = 13
+)
+
+// hashFloat maps a spec hash to [0, 1).
+func hashFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// jitter returns the client's duration multiplier in [0.5, 1.5).
+func (p PopTrace) jitter(c int, salt uint64) float64 {
+	return 0.5 + hashFloat(p.Spec.Hash(c, salt))
+}
+
+// Window implements Trace.
+func (p PopTrace) Window(c int, t float64) (bool, float64, float64) {
+	s := p.Spec
+	meanOn := s.MeanOn
+	if meanOn <= 0 {
+		meanOn = 60
+	}
+	onD := meanOn * p.jitter(c, saltOnDur)
+	if s.MeanOff <= 0 {
+		// No churn: the client is always up; time is still carved into
+		// onD-long cycles purely so the slowdown draw can vary over time
+		// (a straggler profile without availability churn).
+		if s.SlowFactor <= 1 || s.SlowProb <= 0 {
+			return true, 1, math.Inf(1)
+		}
+		cyc := math.Floor(t / onD)
+		return true, p.slow(c, int64(cyc)), (cyc + 1) * onD
+	}
+	offD := s.MeanOff * p.jitter(c, saltOffDur)
+	period := onD + offD
+	shifted := t + hashFloat(p.Spec.Hash(c, saltPhase))*period
+	cyc := math.Floor(shifted / period)
+	x := shifted - cyc*period // position within the cycle, in [0, period)
+	if x < onD {
+		return true, p.slow(c, int64(cyc)), boundAfter(t, t+(onD-x))
+	}
+	return false, 1, boundAfter(t, t+(period-x))
+}
+
+// boundAfter guards the Window contract that a segment ends strictly
+// after its query time: at large t a sliver of remaining cycle can round
+// to zero, which would wedge the engine's segment-walking loops.
+func boundAfter(t, until float64) float64 {
+	if until <= t {
+		return math.Nextafter(t, math.Inf(1))
+	}
+	return until
+}
+
+// slow decides cycle cyc's slowdown for client c by hash.
+func (p PopTrace) slow(c int, cyc int64) float64 {
+	s := p.Spec
+	if s.SlowFactor <= 1 || s.SlowProb <= 0 {
+		return 1
+	}
+	if p.SlowOnly != nil && !p.SlowOnly(c) {
+		return 1
+	}
+	if hashFloat(s.Hash(c, saltSlow+uint64(cyc)*0x9e3779b97f4a7c15)) < s.SlowProb {
+		return s.SlowFactor
+	}
+	return 1
+}

@@ -116,6 +116,48 @@ func (r *RandomTrace) extend(c int, t float64) []segment {
 	return segs
 }
 
+// Retire discards every generated segment that ends at or before t,
+// implementing the engine's Compactor hook. Without it a long-horizon run
+// accretes O(time) segments per client (extend only ever appends). Safe
+// whenever the caller's future queries are all at times > retired — the
+// engine's virtual clock is monotonic, so it retires behind the clock
+// once per Step. Callers that query out of order (the trace's documented
+// general contract) simply never call Retire. Per client, compaction
+// waits until retireSlack segments are droppable so the slice copy is
+// amortised; memory stays bounded by the active window + slack either way.
+func (r *RandomTrace) Retire(t float64) {
+	for c, segs := range r.segs {
+		// First surviving segment: the first one ending after t. The final
+		// segment always survives — extend derives the timeline's current
+		// frontier from it, so dropping it would restart the client's
+		// clock at zero mid-stream.
+		lo := 0
+		for lo < len(segs)-1 && segs[lo].end <= t {
+			lo++
+		}
+		if lo < retireSlack {
+			continue
+		}
+		kept := make([]segment, len(segs)-lo)
+		copy(kept, segs[lo:])
+		r.segs[c] = kept
+	}
+}
+
+// retireSlack is the per-client droppable-segment count below which Retire
+// leaves a timeline alone (compaction batching).
+const retireSlack = 16
+
+// SegmentCount reports the generated segments currently held across all
+// clients — the quantity Retire bounds (regression-tested).
+func (r *RandomTrace) SegmentCount() int {
+	n := 0
+	for _, segs := range r.segs {
+		n += len(segs)
+	}
+	return n
+}
+
 // Window implements Trace.
 func (r *RandomTrace) Window(c int, t float64) (bool, float64, float64) {
 	segs := r.extend(c, t)
