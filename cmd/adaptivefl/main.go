@@ -20,10 +20,59 @@ import (
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/fednet"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
 )
+
+// setupObs assembles the observability layer from the CLI flags: a JSONL
+// span trace, a live /metrics endpoint (with optional pprof) and a
+// per-commit progress feed on stderr. With none of the flags set it
+// returns a nil observer — the zero-cost disabled path. The returned func
+// flushes the trace and stops the endpoint; call it once the run is done.
+func setupObs(traceOut, metricsAddr string, withPprof, progress bool) (*obs.Observer, func(), error) {
+	if traceOut == "" && metricsAddr == "" && !progress {
+		return nil, func() {}, nil
+	}
+	var m *obs.Metrics
+	var done []func()
+	if metricsAddr != "" {
+		m = obs.NewMetrics()
+	}
+	o := obs.NewObserver(m)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		jw := obs.NewJSONLWriter(f)
+		o.AddSink(jw)
+		done = append(done, func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "adaptivefl: trace %s: %v\n", traceOut, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "adaptivefl: trace %s: %d spans\n", traceOut, jw.Count())
+			}
+		})
+	}
+	if metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(metricsAddr, m, withPprof)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "adaptivefl: metrics on http://%s/metrics\n", bound)
+		done = append(done, func() { shutdown() }) //nolint:errcheck // best-effort teardown
+	}
+	if progress {
+		o.AddSink(obs.NewProgressSink(os.Stderr))
+	}
+	return o, func() {
+		for _, f := range done {
+			f()
+		}
+	}, nil
+}
 
 func main() {
 	var (
@@ -42,6 +91,11 @@ func main() {
 		trace     = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
 		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
 		useFednet = flag.Bool("fednet", false, "dispatch through real loopback HTTP agents (fednet.Cluster) instead of in-process training")
+
+		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (see docs/OBS.md)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090); with -fednet each agent additionally serves its own /metrics")
+		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof (and on fednet agents)")
+		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
 	)
 	flag.Parse()
 
@@ -64,6 +118,12 @@ func main() {
 	if *par > 0 {
 		sc.Parallelism = *par
 	}
+	obsv, obsDone, err := setupObs(*traceOut, *metricsAddr, *pprofOn, *progressOn)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsDone()
+	sc.Observer = obsv
 	if *codec != "" {
 		if _, err := wire.ByTag(*codec); err != nil {
 			fatal(err)
@@ -126,6 +186,18 @@ func main() {
 			// Negotiate rather than force: the run exercises the same
 			// GET /train handshake a heterogeneous fleet would.
 			cluster.Trainer.Negotiate(c)
+		}
+		if m := sc.Observer.Metrics(); m != nil {
+			// One shared registry: the trainer's dispatch round trips and
+			// every agent's request handling land in the same scrape, and
+			// each agent's own port additionally answers GET /metrics.
+			cluster.SetMetrics(m, func(int) *obs.Metrics { return m })
+			if *pprofOn {
+				for _, a := range cluster.Agents {
+					a.Pprof = true
+				}
+			}
+			fmt.Fprintf(os.Stderr, "adaptivefl: agent metrics e.g. %s\n", cluster.MetricsURL(0))
 		}
 		sc.Trainer = cluster.Trainer
 		fmt.Printf("fednet: %d loopback agents spawned (codec=%q negotiated per agent)\n",

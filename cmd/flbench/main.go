@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -33,9 +34,59 @@ import (
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/sched"
+	"adaptivefl/internal/tensor"
 	"adaptivefl/internal/wire"
 )
+
+// setupObs assembles the observability layer from the CLI flags: a JSONL
+// span trace, a live /metrics endpoint (with optional pprof) and a
+// per-commit progress feed on stderr. With none of the flags set it
+// returns a nil observer — the zero-cost disabled path. The returned func
+// flushes the trace and stops the endpoint; call it once the run is done.
+func setupObs(traceOut, metricsAddr string, withPprof, progress bool) (*obs.Observer, func(), error) {
+	if traceOut == "" && metricsAddr == "" && !progress {
+		return nil, func() {}, nil
+	}
+	var m *obs.Metrics
+	var done []func()
+	if metricsAddr != "" {
+		m = obs.NewMetrics()
+	}
+	o := obs.NewObserver(m)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		jw := obs.NewJSONLWriter(f)
+		o.AddSink(jw)
+		done = append(done, func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "flbench: trace %s: %v\n", traceOut, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "flbench: trace %s: %d spans\n", traceOut, jw.Count())
+			}
+		})
+	}
+	if metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(metricsAddr, m, withPprof)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "flbench: metrics on http://%s/metrics\n", bound)
+		done = append(done, func() { shutdown() }) //nolint:errcheck // best-effort teardown
+	}
+	if progress {
+		o.AddSink(obs.NewProgressSink(os.Stderr))
+	}
+	return o, func() {
+		for _, f := range done {
+			f()
+		}
+	}, nil
+}
 
 func main() {
 	var (
@@ -56,6 +107,11 @@ func main() {
 		edges     = flag.Int("edges", 1, "with -pop: number of edge aggregators in the two-tier hierarchy (1 = flat)")
 		simSecs   = flag.Float64("sim-seconds", 86400, "with -pop: virtual-time horizon of the simulation (default one simulated day)")
 		timeScale = flag.Float64("time-scale", 0, "with -pop: multiply every priced duration by this factor (0 = auto-calibrate the reduced bench model to a realistic fleet round cadence)")
+
+		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (bounded memory; see docs/OBS.md)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090)")
+		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof")
+		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
 	)
 	flag.Parse()
 
@@ -66,6 +122,12 @@ func main() {
 	if *par > 0 {
 		sc.Parallelism = *par
 	}
+	obsv, obsDone, err := setupObs(*traceOut, *metricsAddr, *pprofOn, *progressOn)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsDone()
+	sc.Observer = obsv
 	if *estimate {
 		if *codec == "" {
 			fatal(fmt.Errorf("-wire-estimate requires -codec"))
@@ -332,6 +394,7 @@ func writeSchedBench(path string, sc exp.Scale) (schedBenchFile, error) {
 	if err := benchMillionClients(&out, s); err != nil {
 		return out, err
 	}
+	benchGemm(&out)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return out, err
@@ -381,6 +444,55 @@ func benchMillionClients(out *schedBenchFile, s exp.Scale) error {
 	fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/commit %8d allocs/commit (%d commits, live=%d made=%d)\n",
 		"clients=1e6", row.NsPerRound, row.AllocsPerRound, res.Commits, res.Live, res.TotalMade)
 	return nil
+}
+
+// gemmIters fixes each GEMM row's measurement window (one warmup pass
+// then this many timed ones) — the same fixed-window rationale as
+// benchRounds.
+const gemmIters = 30
+
+// benchGemm records the multi-core GEMM kernel at the repository
+// benchmark shapes as extra advisory rows: the cache-panel square sizes
+// (BenchmarkGemmTiled) and the skinny-m/huge-n conv shape whose j-split
+// keeps the worker pool busy (BenchmarkGemmSkinny). The "gemm=…" keys are
+// not in exp.SchedPolicies, so compareSchedBench records them in the
+// artifact without ever gating on them — they track how the kernels scale
+// with the runner's GOMAXPROCS over time.
+func benchGemm(out *schedBenchFile) {
+	shapes := []struct {
+		key     string
+		m, k, n int
+	}{
+		{"gemm=tiled128", 128, 128, 128},
+		{"gemm=tiled256", 256, 256, 256},
+		{"gemm=skinny-m2", 2, 72, 16384},
+		{"gemm=skinny-m8", 8, 72, 16384},
+	}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewSource(1))
+		x := tensor.Randn(rng, 1, sh.m, sh.k)
+		y := tensor.Randn(rng, 1, sh.k, sh.n)
+		c := tensor.New(sh.m, sh.n)
+		tensor.Gemm(false, false, 1, x, y, 0, c) // warmup (pool spin-up)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < gemmIters; i++ {
+			tensor.Gemm(false, false, 1, x, y, 0, c)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		row := schedBenchResult{
+			NsPerRound:     elapsed.Nanoseconds() / gemmIters,
+			AllocsPerRound: int64(m1.Mallocs-m0.Mallocs) / gemmIters,
+			BytesPerRound:  int64(m1.TotalAlloc-m0.TotalAlloc) / gemmIters,
+			Rounds:         gemmIters,
+		}
+		out.Policies[sh.key] = row
+		fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/op %8d allocs/op (%d iters)\n",
+			sh.key, row.NsPerRound, row.AllocsPerRound, row.Rounds)
+	}
 }
 
 // runPopSim parses a population spec and drives it through the lazy

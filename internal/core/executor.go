@@ -8,6 +8,7 @@ import (
 
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/obs"
 )
 
 // Executor bounds concurrent local-training executions. The synchronous
@@ -21,6 +22,7 @@ type Executor struct {
 	sem      chan struct{}
 	executed atomic.Int64
 	skipped  atomic.Int64
+	obs      *obs.Observer
 }
 
 // NewExecutor builds an executor bounding concurrent executions to
@@ -35,6 +37,11 @@ func NewExecutor(parallelism int) *Executor {
 // Width returns the executor's concurrency bound.
 func (x *Executor) Width() int { return cap(x.sem) }
 
+// SetObserver attaches an observer whose queue-depth gauges (fl_exec_queued,
+// fl_exec_running) track this executor's occupancy. Gauges only — queue
+// residence is wall-clock state and never enters the span stream.
+func (x *Executor) SetObserver(o *obs.Observer) { x.obs = o }
+
 // Stats reports how many enqueued executions actually trained and how
 // many were cancelled before a worker picked them up (a deadline round
 // closing on stragglers whose uploads would be discarded anyway). The
@@ -45,9 +52,14 @@ func (x *Executor) Stats() (executed, skipped int64) {
 
 // run executes task on its own goroutine, bounded by the semaphore.
 func (x *Executor) run(task func()) {
+	x.obs.ExecDepth(1, 0)
 	go func() {
 		x.sem <- struct{}{}
-		defer func() { <-x.sem }()
+		x.obs.ExecDepth(-1, 1)
+		defer func() {
+			<-x.sem
+			x.obs.ExecDepth(0, -1)
+		}()
 		task()
 	}()
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"adaptivefl/internal/data"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 )
 
@@ -276,6 +277,7 @@ type LazyPopulation struct {
 	lru   *list.List // front = most recently used; element value is *lruEntry
 	pins  map[int]*pinEntry
 	made  int64 // total materialisations, for memory/regeneration audits
+	obs   *obs.Observer
 }
 
 type lruEntry struct {
@@ -325,6 +327,25 @@ func NewLazyPopulation(spec PopulationSpec, pool *prune.Pool, dm DeviceModel, da
 // Spec returns the population's parametric spec.
 func (p *LazyPopulation) Spec() PopulationSpec { return p.spec }
 
+// SetObserver attaches an observer for LRU materialise/evict spans and
+// the live-client gauge. Safe because cache mutations happen only on the
+// event-loop's access sequence (workers read pinned clients), so span
+// order — and with it the JSONL trace — stays deterministic.
+func (p *LazyPopulation) SetObserver(o *obs.Observer) {
+	p.mu.Lock()
+	p.obs = o
+	p.mu.Unlock()
+}
+
+// observeLocked reports one cache event and refreshes the live gauge.
+func (p *LazyPopulation) observeLocked(op string, c int) {
+	if !p.obs.Enabled() {
+		return
+	}
+	p.obs.Span(obs.Span{Kind: obs.KindLRU, Op: op, Client: c})
+	p.obs.LRULive(int64(p.lru.Len() + len(p.pins)))
+}
+
 // Len implements Population.
 func (p *LazyPopulation) Len() int { return p.spec.N }
 
@@ -345,6 +366,7 @@ func (p *LazyPopulation) clientLocked(c int) *Client {
 	}
 	cl := p.materialise(c)
 	p.cache[c] = p.lru.PushFront(&lruEntry{c: c, cl: cl})
+	p.observeLocked(obs.OpMaterialise, c)
 	p.evictLocked()
 	return cl
 }
@@ -365,6 +387,7 @@ func (p *LazyPopulation) Pin(c int) {
 		delete(p.cache, c)
 	} else {
 		cl = p.materialise(c)
+		p.observeLocked(obs.OpMaterialise, c)
 	}
 	p.pins[c] = &pinEntry{cl: cl, n: 1}
 }
@@ -389,8 +412,10 @@ func (p *LazyPopulation) Unpin(c int) {
 func (p *LazyPopulation) evictLocked() {
 	for p.lru.Len() > p.capn {
 		el := p.lru.Back()
-		delete(p.cache, el.Value.(*lruEntry).c)
+		c := el.Value.(*lruEntry).c
+		delete(p.cache, c)
 		p.lru.Remove(el)
+		p.observeLocked(obs.OpEvict, c)
 	}
 }
 
@@ -491,6 +516,15 @@ func (p *ShardPopulation) Pin(c int) {
 func (p *ShardPopulation) Unpin(c int) {
 	if pin, ok := p.base.(Pinner); ok {
 		pin.Unpin(p.offset + c)
+	}
+}
+
+// SetObserver forwards to the base population: shards of one
+// LazyPopulation share its LRU, so they share its cache spans too. LRU
+// span client ids are base ids, matching how the cache actually behaves.
+func (p *ShardPopulation) SetObserver(o *obs.Observer) {
+	if op, ok := p.base.(observablePopulation); ok {
+		op.SetObserver(o)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
 	"adaptivefl/internal/wire"
@@ -54,6 +55,11 @@ type Config struct {
 	// effect without a codec (the parameter estimate already prices those
 	// flights) or with a custom Trainer (planning is in-process only).
 	EstimateUpBytes bool
+	// Observer receives flight/commit spans and occupancy metrics
+	// (internal/obs). Nil disables observability at zero cost on the hot
+	// path; an attached observer is a pure sink and never perturbs the
+	// run (sched's bit-identity property test pins this).
+	Observer *obs.Observer
 }
 
 // TrainResult is the outcome of one dispatch: the trained submodel state,
@@ -260,11 +266,35 @@ func NewServerPopulation(cfg Config, pop Population) (*Server, error) {
 		inflight: map[int64]*Flight{},
 		exec:     NewExecutor(cfg.Parallelism),
 	}
+	if cfg.Observer.Enabled() {
+		s.exec.SetObserver(cfg.Observer)
+		if op, ok := pop.(observablePopulation); ok {
+			op.SetObserver(cfg.Observer)
+		}
+	}
 	return s, nil
+}
+
+// observablePopulation is an optional Population capability: populations
+// with internal cache dynamics (the lazy LRU) report them to an observer.
+type observablePopulation interface {
+	SetObserver(o *obs.Observer)
 }
 
 // Executor returns the server's training executor.
 func (s *Server) Executor() *Executor { return s.exec }
+
+// Observer returns the attached observer (nil when observability is off;
+// the nil observer is safe to call).
+func (s *Server) Observer() *obs.Observer { return s.cfg.Observer }
+
+// RewardOf reads the RL selection reward R(got, client) from the current
+// tables — the quantity the next selection of this client would weigh.
+// Pure read; flight spans carry it so a trace shows how each dispatch
+// moved the bandit.
+func (s *Server) RewardOf(got prune.Submodel, client int) float64 {
+	return s.tables.Reward(got, s.pool, client)
+}
 
 // Pool exposes the model pool (read-only use intended).
 func (s *Server) Pool() *prune.Pool { return s.pool }
@@ -775,6 +805,51 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 	return d, &agg.Update{State: f.res.state, Weight: float64(f.res.samples)}
 }
 
+// SpanOutcome maps a recorded dispatch to its span outcome label.
+func SpanOutcome(oc Outcome, d Dispatch) string {
+	if d.Failed || d.Dropped {
+		if d.Dropped {
+			return obs.OutcomeDropped
+		}
+		return obs.OutcomeFailed
+	}
+	switch oc {
+	case Late:
+		return obs.OutcomeLate
+	case LateReused:
+		return obs.OutcomeLateReused
+	}
+	return obs.OutcomeMerged
+}
+
+// FlightSpan builds the observability span for a recorded flight: the
+// ledger facts plus the RL reward read back from the updated tables.
+// Callers that own a virtual clock (internal/sched) fill the timing
+// fields; the synchronous Round path leaves them zero. Call only with an
+// enabled observer — member names and the reward read are work the
+// disabled path must not do.
+func (s *Server) FlightSpan(f *Flight, d Dispatch, oc Outcome) obs.Span {
+	sp := obs.Span{
+		Kind:         obs.KindFlight,
+		Client:       d.Client,
+		Sent:         d.Sent.Name(),
+		Codec:        d.Codec,
+		DownBytes:    d.SentBytes,
+		UpBytes:      d.GotBytes,
+		UpBytesEst:   d.GotBytesEst,
+		TrainSkipped: d.TrainSkipped,
+		Outcome:      SpanOutcome(oc, d),
+	}
+	if !d.Failed && !d.Dropped {
+		sp.Got = d.Got.Name()
+		sp.Reward = s.RewardOf(d.Got, d.Client)
+	}
+	if oc == Merged || oc == LateReused {
+		sp.Staleness = s.Staleness(f)
+	}
+	return sp
+}
+
 // ApplyUpdates aggregates merged updates into the global model and bumps
 // the version. An empty update set is a no-op (the version does not move).
 func (s *Server) ApplyUpdates(updates []agg.Update) error {
@@ -855,6 +930,9 @@ func (s *Server) Round() error {
 		if u != nil {
 			updates = append(updates, *u)
 		}
+		if s.cfg.Observer.Enabled() {
+			s.cfg.Observer.Span(s.FlightSpan(f, d, Merged))
+		}
 	}
 	if firstErr != nil {
 		return firstErr
@@ -862,6 +940,15 @@ func (s *Server) Round() error {
 	s.stats = append(s.stats, stats)
 	if err := s.ApplyUpdates(updates); err != nil {
 		return fmt.Errorf("core: round %d aggregate: %w", round, err)
+	}
+	if s.cfg.Observer.Enabled() {
+		sp := obs.Span{Kind: obs.KindCommit, Client: -1, Round: round, Merged: len(updates)}
+		for _, d := range stats.Dispatches {
+			if d.Failed || d.Dropped {
+				sp.Failed++
+			}
+		}
+		s.cfg.Observer.Span(sp)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/data"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 )
 
@@ -56,6 +57,12 @@ type Scale struct {
 	// loopback transport. The transport then owns the wire encoding, so
 	// Codec is not also applied in-process.
 	Trainer core.Trainer
+	// Observer, when set, attaches the observability layer: every flight,
+	// commit and LRU event emits an obs.Span, the wire codec (if any) is
+	// wrapped with wall-clock timing, and the observer's metrics registry
+	// fills for a /metrics scrape. Nil is the zero-cost disabled state; an
+	// attached observer never perturbs the run (see internal/obs).
+	Observer *obs.Observer
 }
 
 // QuickScale finishes an experiment in tens of seconds; used by the

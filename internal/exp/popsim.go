@@ -149,6 +149,7 @@ func popServer(mcfg models.Config, pop core.Population, sc Scale, k int, seed in
 		Train:           sc.TrainConfig(),
 		Seed:            seed,
 		Parallelism:     sc.Parallelism,
+		Observer:        sc.Observer,
 	}, pop)
 }
 
@@ -260,7 +261,7 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 		}
 		eds[i] = &sched.Edge{Srv: srv, Eng: eng}
 	}
-	hier, err := sched.NewHierarchy(eds, cost, sched.HierConfig{Epochs: sc.LocalEpochs})
+	hier, err := sched.NewHierarchy(eds, cost, sched.HierConfig{Epochs: sc.LocalEpochs, Observer: sc.Observer})
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,11 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			// the codec in-process as well would encode twice.
 			codec = nil
 		}
+		if m := sc.Observer.Metrics(); m != nil {
+			// Timed wrapping reports wall-clock codec latency to the metrics
+			// registry only — the span stream and the simulation never see it.
+			codec = wire.Timed(codec, m)
+		}
 		a, err := baselines.NewAdaptive(core.Config{
 			Model:           fed.Model,
 			Pool:            prune.Config{P: p},
@@ -52,6 +57,7 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			Trainer:         sc.Trainer,
 			Codec:           codec,
 			EstimateUpBytes: sc.EstimateUp,
+			Observer:        sc.Observer,
 		}, fed.Clients, label)
 		if err != nil || sc.Sched == "" {
 			return a, err

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/models"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 )
 
@@ -64,6 +66,29 @@ func NewCluster(clients []*core.Client, mcfg models.Config, pcfg prune.Config, t
 	}
 	cl.Trainer = NewHTTPTrainer(cl.URLs, pool, train)
 	return cl, nil
+}
+
+// SetMetrics attaches per-agent registries and a trainer registry: each
+// agent starts serving GET /metrics on its own port (its device-local
+// view of the fleet), and the trainer times its dispatch round trips into
+// the server-side registry. agents(i) supplies agent i's registry — pass
+// a shared one for a fleet-wide rollup or fresh ones for per-device
+// scrapes; nil leaves that agent unobserved.
+func (cl *Cluster) SetMetrics(server *obs.Metrics, agents func(i int) *obs.Metrics) {
+	if cl.Trainer != nil {
+		cl.Trainer.Metrics = server
+	}
+	if agents == nil {
+		return
+	}
+	for i, a := range cl.Agents {
+		a.Metrics = agents(i)
+	}
+}
+
+// MetricsURL returns agent i's /metrics endpoint.
+func (cl *Cluster) MetricsURL(i int) string {
+	return strings.TrimSuffix(cl.URLs[i], "/train") + "/metrics"
 }
 
 // Close shuts every agent server down. Safe on a partially built cluster.

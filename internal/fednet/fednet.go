@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/wire"
 )
@@ -100,6 +102,14 @@ type Agent struct {
 	// next upload (wire.ErrorFeedback). Sender-side only: the stream stays
 	// wire-compatible, so the server needs no configuration.
 	ErrorFeedback bool
+	// Metrics, when set, times every served request (route, latency,
+	// payload bytes) and adds a GET /metrics endpoint to this agent in
+	// Prometheus text format — live introspection of a running device
+	// fleet. Nil leaves the agent unobserved with no overhead.
+	Metrics *obs.Metrics
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
+	// this agent (opt-in; requires Metrics).
+	Pprof bool
 
 	// instance identifies this agent construction; a restarted agent gets
 	// a fresh ID, which is how the server notices its negotiation is stale.
@@ -174,9 +184,55 @@ func (a *Agent) acceptsCodec(tag string) bool {
 	return false
 }
 
+// countingWriter tallies response body bytes for the request metrics.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // ServeHTTP handles POST /train (a dispatch) and GET /train (codec
-// negotiation: the supported tag list).
+// negotiation: the supported tag list). With Metrics set it additionally
+// serves GET /metrics (Prometheus text exposition), optionally the pprof
+// endpoints, and times every train/negotiate request.
 func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.Metrics != nil {
+		switch {
+		case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/metrics"):
+			w.Header().Set(instanceHeader, a.instance)
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			a.Metrics.WritePrometheus(w)
+			return
+		case strings.HasPrefix(r.URL.Path, "/debug/pprof"):
+			// Profile endpoints are opt-in per agent; without the opt-in the
+			// path 404s rather than falling through to the train handler.
+			if a.Pprof {
+				obs.Handler(a.Metrics, true).ServeHTTP(w, r)
+			} else {
+				http.NotFound(w, r)
+			}
+			return
+		}
+		route := "train"
+		if r.Method == http.MethodGet {
+			route = "negotiate"
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		a.serveTrain(cw, r)
+		a.Metrics.HTTPRequest(route, time.Since(start).Seconds(), r.ContentLength, cw.n)
+		return
+	}
+	a.serveTrain(w, r)
+}
+
+// serveTrain is the train/negotiate handler body.
+func (a *Agent) serveTrain(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(instanceHeader, a.instance)
 	if r.Method == http.MethodGet {
 		w.Header().Set("Content-Type", "application/json")
@@ -268,6 +324,11 @@ type HTTPTrainer struct {
 	// Codec encodes dispatches (nil means raw). Negotiate can override it
 	// per client with what each agent actually supports.
 	Codec wire.Codec
+	// Metrics, when set, times every dispatch round trip (route
+	// "dispatch": wall-clock latency, downlink/uplink payload bytes) —
+	// the server-side view of the fleet's HTTP traffic. Wall-clock only,
+	// so it never perturbs the simulation's virtual-time determinism.
+	Metrics *obs.Metrics
 
 	// mu guards the negotiation state below; dispatches to different
 	// clients run concurrently and may re-negotiate mid-round.
@@ -460,11 +521,17 @@ func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState 
 	if err != nil {
 		return core.TrainResult{}, 0, err
 	}
+	start := time.Now()
 	httpResp, err := t.HTTPClient.Post(t.URLs[clientID], "application/json", bytes.NewReader(reqBody))
 	if err != nil {
 		return core.TrainResult{}, 0, fmt.Errorf("fednet: dispatch to client %d: %w", clientID, err)
 	}
 	defer httpResp.Body.Close()
+	if t.Metrics != nil {
+		defer func() {
+			t.Metrics.HTTPRequest("dispatch", time.Since(start).Seconds(), int64(len(reqBody)), httpResp.ContentLength)
+		}()
+	}
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1024))
 		return core.TrainResult{}, httpResp.StatusCode,

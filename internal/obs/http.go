@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry at /metrics in Prometheus text format.
+// With withPprof, the standard net/http/pprof endpoints are mounted
+// under /debug/pprof/ — opt-in because profile endpoints on a
+// million-client box are a foot-gun to expose by default.
+func Handler(m *Metrics, withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:9090", port 0 for ephemeral)
+// and serves Handler in a background goroutine. It returns the bound
+// address and a shutdown func. The caller's run is never blocked on the
+// listener: serve errors after a successful bind are discarded.
+func Serve(addr string, m *Metrics, withPprof bool) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(m, withPprof)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

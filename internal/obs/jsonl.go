@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// jsonlBufSize bounds the writer's only in-memory state: one bufio flush
+// window. Span volume never accumulates — a million-flight run holds a
+// million spans on disk and 64 KiB in memory.
+const jsonlBufSize = 64 << 10
+
+// JSONLWriter streams spans to a writer as one JSON object per line. It
+// is bounded-memory by construction (spans are encoded and flushed
+// through a fixed-size buffer, never retained), safe for concurrent use,
+// and byte-deterministic: encoding/json emits struct fields in
+// declaration order, and engine spans arrive in event order, so two
+// same-seed runs produce identical trace files.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	n   atomic.Int64
+	err error
+}
+
+// NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, jsonlBufSize)
+	j := &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Span writes one span line. Write errors are sticky: the first is kept
+// and later spans are dropped (a failing trace sink must not stall or
+// perturb the run).
+func (j *JSONLWriter) Span(s Span) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(s)
+	}
+	j.mu.Unlock()
+	j.n.Add(1)
+}
+
+// Count returns the number of spans received (including any dropped
+// after a write error).
+func (j *JSONLWriter) Count() int64 { return j.n.Load() }
+
+// Close flushes and closes the underlying writer, returning the first
+// error seen.
+func (j *JSONLWriter) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); j.err == nil {
+		j.err = err
+	}
+	if j.c != nil {
+		if err := j.c.Close(); j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}

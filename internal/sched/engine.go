@@ -8,6 +8,7 @@ import (
 
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
+	"adaptivefl/internal/obs"
 )
 
 // evKind classifies queue events.
@@ -30,6 +31,12 @@ type flight struct {
 	f   *core.Flight
 	d   core.Dispatch // priced ledger view of the executed dispatch
 	eta float64       // virtual completion (or dropout) time
+	// t0 / downT / trainT are the flight's virtual trace segments for
+	// observability: dispatch cut, downlink completion, local-training
+	// completion. downT/trainT stay zero when the phase never completed
+	// (dropout mid-phase) or the flight was priced in one piece (an
+	// unplannable trainer exposes only its end). eta closes the span.
+	t0, downT, trainT float64
 	// drops is the flight's fate, known at launch: the client's
 	// availability window ends before the upload would complete.
 	drops bool
@@ -98,6 +105,9 @@ type Engine struct {
 
 	log     []string
 	commits []Commit
+	// obs is the resolved observer (Config.Observer, falling back to the
+	// server's). Nil when observability is off; always safe to call.
+	obs *obs.Observer
 
 	// semiasync stream state, persisted across Steps.
 	buffer []agg.Update
@@ -135,9 +145,32 @@ func New(srv *core.Server, cost CostModel, trace Trace, cfg Config) (*Engine, er
 		exec = core.NewExecutor(cfg.Parallelism)
 	}
 	_, sampled := srv.Population().(core.CandidateSampler)
+	observer := cfg.Observer
+	if observer == nil {
+		observer = srv.Observer()
+	}
+	if observer.Enabled() {
+		exec.SetObserver(observer)
+	}
 	return &Engine{cfg: cfg, srv: srv, cost: cost, trace: trace, exec: exec,
-		busy: map[int]bool{}, sampled: sampled,
+		busy: map[int]bool{}, sampled: sampled, obs: observer,
 		probe: rand.New(rand.NewSource(0x5851f42d4c957f2d))}, nil
+}
+
+// emitFlight closes a recorded flight's span: the server supplies the
+// ledger facts and RL reward, the engine the virtual trace segments.
+// Record must already have run (the reward reads the updated tables).
+func (e *Engine) emitFlight(fl *flight, d core.Dispatch, oc core.Outcome) {
+	if !e.obs.Enabled() {
+		return
+	}
+	sp := e.srv.FlightSpan(fl.f, d, oc)
+	sp.Time = e.clock
+	sp.Start = fl.t0
+	sp.DownEnd = fl.downT
+	sp.TrainEnd = fl.trainT
+	sp.End = fl.eta
+	e.obs.Span(sp)
 }
 
 // Clock returns the current virtual time in seconds.
@@ -270,6 +303,7 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 	plans := make([]*core.FlightPlan, len(open))
 	needJoin := make([]bool, len(open))
 	uploadAt := make([]float64, len(open))
+	downAt := make([]float64, len(open))
 	for i, cf := range open {
 		pl, err := e.srv.Plan(trainer, cf)
 		if err != nil {
@@ -285,14 +319,18 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 		c := d.Client
 		cl := e.srv.ClientAt(c)
 		down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
+		var downEnd, trainDone float64
 		t, dropped := e.transferEnd(c, e.clock, down)
 		if !dropped {
-			t, dropped = e.trainEnd(c, t, train)
+			downEnd = t
+			if t, dropped = e.trainEnd(c, t, train); !dropped {
+				trainDone = t
+			}
 		}
 		switch {
 		case dropped:
 			e.srv.SkipFlight(cf)
-			fls[i] = &flight{f: cf, eta: t, drops: true}
+			fls[i] = &flight{f: cf, eta: t, drops: true, t0: e.clock, downT: downEnd}
 		case pl.Failed || pl.UpBytesKnown:
 			t2, dropped2 := e.transferEnd(c, t, up)
 			if dropped2 || pl.Failed {
@@ -300,11 +338,13 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 			} else {
 				e.srv.ExecuteAsync(e.exec, trainer, cf)
 			}
-			fls[i] = &flight{f: cf, eta: t2, drops: dropped2}
+			fls[i] = &flight{f: cf, eta: t2, drops: dropped2,
+				t0: e.clock, downT: downEnd, trainT: trainDone}
 		default:
 			e.srv.ExecuteAsync(e.exec, trainer, cf)
 			needJoin[i] = true
 			uploadAt[i] = t
+			downAt[i] = downEnd
 		}
 		if fls[i] != nil {
 			fls[i].d = cf.Dispatch()
@@ -319,22 +359,27 @@ func (e *Engine) launchFlights(trainer core.Trainer, open []*core.Flight) ([]*fl
 			d := cf.Dispatch()
 			cl := e.srv.ClientAt(d.Client)
 			down, train, up := e.cost.DispatchTimes(cl.Device.Class, d, cl.Data.Len(), e.cfg.Epochs)
-			var t float64
+			var t, downEnd, trainDone float64
 			var dropped bool
 			if plans[i] != nil {
 				// Download and training were priced in the first pass; the
 				// join only supplied the upload size.
+				downEnd, trainDone = downAt[i], uploadAt[i]
 				t, dropped = e.transferEnd(d.Client, uploadAt[i], up)
 			} else {
 				t, dropped = e.transferEnd(d.Client, e.clock, down)
 				if !dropped {
-					t, dropped = e.trainEnd(d.Client, t, train)
+					downEnd = t
+					if t, dropped = e.trainEnd(d.Client, t, train); !dropped {
+						trainDone = t
+					}
 				}
 				if !dropped {
 					t, dropped = e.transferEnd(d.Client, t, up)
 				}
 			}
-			fls[i] = &flight{f: cf, d: d, eta: t, drops: dropped}
+			fls[i] = &flight{f: cf, d: d, eta: t, drops: dropped,
+				t0: e.clock, downT: downEnd, trainT: trainDone}
 		}
 		fl := fls[i]
 		e.busy[fl.d.Client] = true
@@ -477,6 +522,7 @@ func (e *Engine) bankResidual(fl *flight) error {
 		u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
 		e.bank = append(e.bank, *u)
 	}
+	e.emitFlight(fl, d, core.LateReused)
 	return nil
 }
 
@@ -518,6 +564,11 @@ func (e *Engine) commitRecorded(round int, stats core.RoundStats, updates []agg.
 	e.commits = append(e.commits, c)
 	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d reused=%d dropped=%d",
 		e.clock, round, c.Merged, c.Failed, c.Late, c.LateReused, c.Dropped)
+	if e.obs.Enabled() {
+		e.obs.Span(obs.Span{Kind: obs.KindCommit, Time: e.clock, Client: -1,
+			Round: round, Merged: c.Merged, Failed: c.Failed, Late: c.Late,
+			Reused: c.LateReused, Dropped: c.Dropped})
+	}
 	return c, nil
 }
 
@@ -555,6 +606,7 @@ func (e *Engine) stepSync() (Commit, error) {
 		if u != nil {
 			updates = append(updates, *u)
 		}
+		e.emitFlight(fl, d, oc)
 	}
 	return e.commitRecorded(round, stats, updates)
 }
@@ -661,6 +713,7 @@ func (e *Engine) stepDeadline(reuse bool) (Commit, error) {
 		if u != nil {
 			updates = append(updates, *u)
 		}
+		e.emitFlight(fl, d, oc)
 	}
 	return e.commitRecorded(round, stats, updates)
 }
@@ -741,6 +794,7 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 			d, _ := e.srv.Record(ev.fl.f, core.Dropped)
 			e.accum.Add(d)
 			e.logf("%.3f drop c%d %s", e.clock, ev.fl.d.Client, ev.fl.d.Sent.Name())
+			e.emitFlight(ev.fl, d, core.Dropped)
 			continue
 		}
 		if err := e.join(ev.fl); err != nil {
@@ -750,6 +804,7 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 		d, u := e.srv.Record(ev.fl.f, core.Merged)
 		e.accum.Add(d)
 		e.logf("%.3f arrive c%d %s stale=%d", e.clock, d.Client, d.Got.Name(), stale)
+		e.emitFlight(ev.fl, d, core.Merged)
 		if u != nil {
 			u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
 			e.buffer = append(e.buffer, *u)

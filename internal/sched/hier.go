@@ -8,6 +8,7 @@ import (
 	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/obs"
 )
 
 // Edge is one edge aggregator of a two-tier topology: its own core.Server
@@ -40,6 +41,11 @@ type HierConfig struct {
 	// Epochs is only used to price the edge→cloud uplink through the cost
 	// model's interface. Default 1.
 	Epochs int
+	// Observer receives the global tier's spans — edge commits entering
+	// transit, arrivals folding into the buffer, down-syncs, global merges
+	// — mirroring the event-log lines one-to-one. Edge engines carry their
+	// own observers (usually the same one).
+	Observer *obs.Observer
 }
 
 // GlobalCommit is one global-tier merge.
@@ -216,6 +222,10 @@ func (h *Hierarchy) Step() (GlobalCommit, error) {
 			ed.anchor = h.version
 			ed.pendingSync = false
 			h.logf("%.3f down-sync edge=%d version=%d", ed.Eng.Clock(), ed.id, h.version)
+			if h.cfg.Observer.Enabled() {
+				h.cfg.Observer.Span(obs.Span{Kind: obs.KindDownSync,
+					Time: ed.Eng.Clock(), Client: -1, Edge: ed.id, Round: h.version})
+			}
 		}
 		c, err := ed.Eng.Step()
 		if err != nil {
@@ -228,6 +238,11 @@ func (h *Hierarchy) Step() (GlobalCommit, error) {
 				state: ed.Srv.Global(), weight: float64(c.Merged), anchor: ed.anchor})
 			h.logf("%.3f edge-commit edge=%d round=%d merged=%d arrive=%.3f",
 				ed.Eng.Clock(), ed.id, c.Round, c.Merged, at)
+			if h.cfg.Observer.Enabled() {
+				h.cfg.Observer.Span(obs.Span{Kind: obs.KindEdgeCommit,
+					Time: ed.Eng.Clock(), Client: -1, Edge: ed.id,
+					Round: c.Round, Merged: c.Merged, End: at})
+			}
 		}
 		// Fold every in-transit update that no edge can beat anymore.
 		safe := h.minClock()
@@ -241,6 +256,10 @@ func (h *Hierarchy) Step() (GlobalCommit, error) {
 			})
 			h.buffered++
 			h.logf("%.3f global-arrive edge=%d stale=%d", a.t, a.edge, stale)
+			if h.cfg.Observer.Enabled() {
+				h.cfg.Observer.Span(obs.Span{Kind: obs.KindGlobalArrive,
+					Time: a.t, Client: -1, Edge: a.edge, Staleness: stale})
+			}
 			if h.buffered < h.cfg.GlobalBuffer {
 				continue
 			}
@@ -257,6 +276,10 @@ func (h *Hierarchy) Step() (GlobalCommit, error) {
 			}
 			h.commits = append(h.commits, gc)
 			h.logf("%.3f global-commit version=%d merged=%d", gc.Time, gc.Round, gc.Merged)
+			if h.cfg.Observer.Enabled() {
+				h.cfg.Observer.Span(obs.Span{Kind: obs.KindGlobalMerge,
+					Time: gc.Time, Client: -1, Round: gc.Round, Merged: gc.Merged})
+			}
 			return gc, nil
 		}
 	}

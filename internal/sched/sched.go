@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"adaptivefl/internal/core"
+	"adaptivefl/internal/obs"
 )
 
 // Policy names an aggregation policy.
@@ -95,6 +96,12 @@ type Config struct {
 	// server's executor, whose default width is GOMAXPROCS. Results are
 	// bit-identical at any setting; only wall-clock changes.
 	Parallelism int
+	// Observer receives flight and commit spans from the engine
+	// (internal/obs). Nil falls back to the server's observer; spans are a
+	// pure read of state the engine computed anyway, so the event log,
+	// ledger, RL tables and weights are bit-identical with or without one
+	// (pinned by TestObserverBitIdentity).
+	Observer *obs.Observer
 }
 
 func (c *Config) validate() error {
