@@ -21,6 +21,7 @@ import (
 	"adaptivefl/internal/fednet"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/obs"
+	"adaptivefl/internal/obs/analyze"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
@@ -93,6 +94,8 @@ func main() {
 		useFednet = flag.Bool("fednet", false, "dispatch through real loopback HTTP agents (fednet.Cluster) instead of in-process training")
 
 		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (see docs/OBS.md)")
+		ledgerOut   = flag.String("ledger-out", "", "write the run's ledger summary JSON here (the `fltrace audit` cross-check target; AdaptiveFL variants only)")
+		wallOut     = flag.String("wall-out", "", "with -fednet: stream wall-clock HTTP timing records (server + agent side, keyed by flight ID) to this JSONL file for `fltrace join`")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090); with -fednet each agent additionally serves its own /metrics")
 		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof (and on fednet agents)")
 		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
@@ -162,6 +165,13 @@ func main() {
 		sc.EstimateUp = true
 	}
 
+	if *wallOut != "" && !*useFednet {
+		fatal(fmt.Errorf("-wall-out requires -fednet (wall records time real HTTP round trips)"))
+	}
+	if *ledgerOut != "" && !strings.HasPrefix(*alg, "AdaptiveFL") {
+		fatal(fmt.Errorf("-ledger-out applies to AdaptiveFL variants only (got -alg %s)", *alg))
+	}
+
 	fed, err := exp.BuildFederation(models.Arch(*arch), *dataset, exp.Dist(*dist), exp.DefaultProportions, sc)
 	if err != nil {
 		fatal(err)
@@ -198,6 +208,21 @@ func main() {
 				}
 			}
 			fmt.Fprintf(os.Stderr, "adaptivefl: agent metrics e.g. %s\n", cluster.MetricsURL(0))
+		}
+		if *wallOut != "" {
+			f, err := os.Create(*wallOut)
+			if err != nil {
+				fatal(err)
+			}
+			wj := obs.NewJSONLWriter(f)
+			cluster.SetWallLog(wj)
+			defer func() {
+				if err := wj.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "adaptivefl: wall %s: %v\n", *wallOut, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "adaptivefl: wall records in %s\n", *wallOut)
+				}
+			}()
 		}
 		sc.Trainer = cluster.Trainer
 		fmt.Printf("fednet: %d loopback agents spawned (codec=%q negotiated per agent)\n",
@@ -249,6 +274,20 @@ func main() {
 			_, back := core.TotalWireBytes(adaptive.Srv.Stats())
 			fmt.Printf("uplink pricing: %.2f MB estimated vs %.2f MB actual (%+.1f%%)\n",
 				float64(est)/1e6, float64(back)/1e6, pctDelta(est, back))
+		}
+		if *ledgerOut != "" {
+			ledger := analyze.SummarizeStats(adaptive.Srv.Stats())
+			ledger.Policy = "legacy"
+			if sa, isSched := runner.(*baselines.SchedAdaptive); isSched {
+				ledger.Policy = sc.Sched
+				ledger.HasDiscounts = true
+				ledger.StalenessExp = sa.Eng.StalenessExp()
+				ledger.DiscountSum = sa.Eng.DiscountSum()
+			}
+			if err := ledger.WriteFile(*ledgerOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "adaptivefl: ledger summary written to %s\n", *ledgerOut)
 		}
 	}
 }

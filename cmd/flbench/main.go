@@ -109,6 +109,7 @@ func main() {
 		timeScale = flag.Float64("time-scale", 0, "with -pop: multiply every priced duration by this factor (0 = auto-calibrate the reduced bench model to a realistic fleet round cadence)")
 
 		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (bounded memory; see docs/OBS.md)")
+		ledgerOut   = flag.String("ledger-out", "", "with -pop: write the run's ledger summary JSON here (the `fltrace audit` cross-check target)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090)")
 		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof")
 		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
@@ -153,10 +154,13 @@ func main() {
 			}
 			sc.Sched = *schedP
 		}
-		if err := runPopSim(*popSpec, sc, *edges, *simSecs, *timeScale); err != nil {
+		if err := runPopSim(*popSpec, sc, *edges, *simSecs, *timeScale, *ledgerOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *ledgerOut != "" {
+		fatal(fmt.Errorf("-ledger-out requires -pop"))
 	}
 	if *schedP != "" {
 		if _, err := sched.ParsePolicy(*schedP); err != nil {
@@ -498,7 +502,7 @@ func benchGemm(out *schedBenchFile) {
 // runPopSim parses a population spec and drives it through the lazy
 // population simulator, printing a one-line summary. The weights hash is
 // the determinism witness: the same flags and seed reproduce it exactly.
-func runPopSim(specStr string, sc exp.Scale, edges int, simSeconds, timeScale float64) error {
+func runPopSim(specStr string, sc exp.Scale, edges int, simSeconds, timeScale float64, ledgerOut string) error {
 	spec, err := core.ParsePopulation(specStr)
 	if err != nil {
 		return err
@@ -514,6 +518,12 @@ func runPopSim(specStr string, sc exp.Scale, edges int, simSeconds, timeScale fl
 	res, err := exp.RunPopSim(os.Stderr, spec, sc, edges, simSeconds, timeScale)
 	if err != nil {
 		return err
+	}
+	if ledgerOut != "" {
+		if err := res.Ledger.WriteFile(ledgerOut); err != nil {
+			return fmt.Errorf("ledger %s: %w", ledgerOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "flbench: ledger summary written to %s\n", ledgerOut)
 	}
 	// stdout carries only deterministic fields: two same-seed runs must be
 	// byte-identical, which is what the CI smoke job diffs. Wall time goes

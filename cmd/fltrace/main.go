@@ -1,0 +1,133 @@
+// Command fltrace answers questions from a JSONL span trace (obs
+// package, -trace-out on flbench/adaptivefl). It streams: a
+// million-client smoke trace passes through bounded memory.
+//
+//	fltrace summary [-top N] trace.jsonl
+//	    Critical-path, waste/bytes breakdowns, phase and staleness
+//	    histograms, hierarchy backhaul stats.
+//
+//	fltrace audit [-ledger ledger.json] trace.jsonl
+//	    Replay the span stream and cross-check conservation invariants
+//	    against the run's ledger summary (-ledger-out). Exits 1 on any
+//	    violation.
+//
+//	fltrace join [-top N] -wall wall.jsonl trace.jsonl
+//	    Correlate deterministic flight spans with wall-clock fednet HTTP
+//	    records (-wall-out) via the Fednet-Flight header.
+//
+// Reports are deterministic: two same-seed traces render byte-identical
+// output.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adaptivefl/internal/obs/analyze"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: fltrace <summary|audit|join> [flags] trace.jsonl\nrun 'fltrace <cmd> -h' for flags\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = runSummary(os.Args[2:])
+	case "audit":
+		err = runAudit(os.Args[2:])
+	case "join":
+		err = runJoin(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fltrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// openTrace opens the positional trace argument ("-" for stdin).
+func openTrace(fs *flag.FlagSet) (io.ReadCloser, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one trace file argument")
+	}
+	if path := fs.Arg(0); path != "-" {
+		return os.Open(path)
+	}
+	return io.NopCloser(os.Stdin), nil
+}
+
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	top := fs.Int("top", 10, "clients to list in the per-client table")
+	fs.Parse(args)
+	in, err := openTrace(fs)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	s, err := analyze.Summarize(in)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	s.Write(w, *top)
+	return w.Flush()
+}
+
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	ledgerPath := fs.String("ledger", "", "ledger summary JSON to reconcile against (-ledger-out)")
+	fs.Parse(args)
+	var ledger *analyze.LedgerSummary
+	if *ledgerPath != "" {
+		var err error
+		if ledger, err = analyze.ReadLedgerFile(*ledgerPath); err != nil {
+			return err
+		}
+	}
+	in, err := openTrace(fs)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	violations, err := analyze.Audit(in, ledger)
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("%d violation(s)", len(violations))
+	}
+	fmt.Println("audit: ok")
+	return nil
+}
+
+func runJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	wallPath := fs.String("wall", "", "wall-clock record JSONL (-wall-out) [required]")
+	top := fs.Int("top", 10, "flights to list by transport overhead")
+	fs.Parse(args)
+	if *wallPath == "" {
+		return fmt.Errorf("join requires -wall")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := analyze.JoinFiles(fs.Arg(0), *wallPath, w, *top); err != nil {
+		return err
+	}
+	return w.Flush()
+}

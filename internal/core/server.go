@@ -832,6 +832,8 @@ func (s *Server) FlightSpan(f *Flight, d Dispatch, oc Outcome) obs.Span {
 	sp := obs.Span{
 		Kind:         obs.KindFlight,
 		Client:       d.Client,
+		Flight:       f.ID,
+		Ver:          f.Version,
 		Sent:         d.Sent.Name(),
 		Codec:        d.Codec,
 		DownBytes:    d.SentBytes,
@@ -961,6 +963,16 @@ type preDecodedTrainer interface {
 	PreDecodedFor(memberIndex int) bool
 }
 
+// FlightTrainer is an optional Trainer capability: a trainer that can
+// carry the flight ID alongside a dispatch implements it to correlate its
+// own transport-level records (e.g. fednet's Fednet-Flight header and
+// wall-clock logs) with the deterministic flight span. The ID is
+// observability metadata only — TrainFlight must behave exactly like
+// TrainDispatch for the same arguments.
+type FlightTrainer interface {
+	TrainFlight(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error)
+}
+
 // trainSlot performs Step 4/5 for one dispatch, delegating to the given
 // Trainer (built once per round). The dispatch state comes from the
 // flight's captured snapshot, so lazily executed flights train on the
@@ -975,7 +987,13 @@ func (s *Server) trainSlot(trainer Trainer, f *Flight) localResult {
 			return localResult{err: err}
 		}
 	}
-	res, err := trainer.TrainDispatch(clientID, sent, st, seed)
+	var res TrainResult
+	var err error
+	if ft, ok := trainer.(FlightTrainer); ok {
+		res, err = ft.TrainFlight(f.ID, clientID, sent, st, seed)
+	} else {
+		res, err = trainer.TrainDispatch(clientID, sent, st, seed)
+	}
 	if err != nil {
 		return localResult{err: err}
 	}

@@ -11,6 +11,7 @@ import (
 	"adaptivefl/internal/data"
 	"adaptivefl/internal/models"
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/obs/analyze"
 	"adaptivefl/internal/prune"
 	"adaptivefl/internal/rl"
 	"adaptivefl/internal/sched"
@@ -40,6 +41,9 @@ type PopSimResult struct {
 	// Mix is the realised weak/medium/strong split of the first 10k
 	// clients (a cheap census, not the whole fleet).
 	Mix [3]int
+	// Ledger is the run's conservation summary (-ledger-out), the
+	// cross-check target for `fltrace audit` over the run's span trace.
+	Ledger *analyze.LedgerSummary
 }
 
 // HashState fingerprints a state dict: FNV-64a over sorted tensor names
@@ -230,6 +234,19 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 		res.WeightsHash = HashState(srv.Global())
 		res.RLRows = srv.Tables().Rows()
 		res.Live, res.TotalMade = pop.Materialized()
+		ledger := analyze.SummarizeStats(srv.Stats())
+		ledger.Policy = policy
+		ledger.HasDiscounts = true
+		ledger.StalenessExp = eng.StalenessExp()
+		ledger.DiscountSum = eng.DiscountSum()
+		if sc.Observer.Enabled() {
+			// LRU spans are in the trace only when observed, so the audit
+			// target carries the balance only then.
+			ledger.HasLRU = true
+			ledger.LRULive = int64(res.Live)
+			ledger.LRUMade = res.TotalMade
+		}
+		res.Ledger = &ledger
 		return res, nil
 	}
 
@@ -274,11 +291,26 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 	}
 	res.SimTime = hier.Clock()
 	res.WeightsHash = HashState(hier.Global())
+	var ledger analyze.LedgerSummary
+	ledger.Policy = policy
+	ledger.HasDiscounts = true
 	for _, ed := range eds {
 		res.EdgeCommits += len(ed.Eng.Commits())
 		res.RLRows += ed.Srv.Tables().Rows()
+		ledger.AddStats(ed.Srv.Stats())
+		ledger.DiscountSum += ed.Eng.DiscountSum()
+		ledger.StalenessExp = ed.Eng.StalenessExp()
 	}
+	ledger.GlobalCommits = len(hier.Commits())
+	ledger.GlobalStalenessExp = hier.StalenessExp()
+	ledger.GlobalDiscountSum = hier.DiscountSum()
 	res.Live, res.TotalMade = pop.Materialized()
+	if sc.Observer.Enabled() {
+		ledger.HasLRU = true
+		ledger.LRULive = int64(res.Live)
+		ledger.LRUMade = res.TotalMade
+	}
+	res.Ledger = &ledger
 	return res, nil
 }
 

@@ -86,6 +86,21 @@ func (cl *Cluster) SetMetrics(server *obs.Metrics, agents func(i int) *obs.Metri
 	}
 }
 
+// SetWallLog points the trainer and every agent at one shared wall-clock
+// record writer (obs.WallRecord JSONL, -wall-out): the server side logs
+// each dispatch round trip and the agent side each served request, both
+// keyed by the Fednet-Flight header so `fltrace join` can reunite them
+// with the deterministic flight spans. JSONLWriter serialises internally,
+// so one writer is safe across all agents and concurrent dispatches.
+func (cl *Cluster) SetWallLog(w *obs.JSONLWriter) {
+	if cl.Trainer != nil {
+		cl.Trainer.Wall = w
+	}
+	for _, a := range cl.Agents {
+		a.Wall = w
+	}
+}
+
 // MetricsURL returns agent i's /metrics endpoint.
 func (cl *Cluster) MetricsURL(i int) string {
 	return strings.TrimSuffix(cl.URLs[i], "/train") + "/metrics"

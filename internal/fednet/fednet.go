@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,15 @@ import (
 // response, so the server can detect a restarted agent (whose codec
 // support may have changed) and re-negotiate instead of failing rounds.
 const instanceHeader = "Fednet-Instance"
+
+// FlightHeader carries the dispatch's flight ID (core.Flight.ID, decimal)
+// on every POST /train request, and is echoed back on the response. It is
+// the cross-process correlation contract: the same ID appears in the
+// deterministic flight span (-trace-out), so agent- and server-side
+// wall-clock records (-wall-out) join back to the simulated flight in
+// `fltrace join`. Absent (or 0) when the trainer was driven without a
+// flight — e.g. a bare TrainDispatch.
+const FlightHeader = "Fednet-Flight"
 
 // errCodecNotAccepted marks a dispatch whose codec the agent refuses;
 // ServeHTTP maps it to 415 so the trainer can re-negotiate and retry.
@@ -110,6 +120,10 @@ type Agent struct {
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
 	// this agent (opt-in; requires Metrics).
 	Pprof bool
+	// Wall, when set, appends one obs.WallRecord per served train/negotiate
+	// request (side "agent"), keyed by the Fednet-Flight header so the
+	// handler time joins the deterministic flight span in `fltrace join`.
+	Wall *obs.JSONLWriter
 
 	// instance identifies this agent construction; a restarted agent gets
 	// a fresh ID, which is how the server notices its negotiation is stale.
@@ -218,22 +232,44 @@ func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		route := "train"
-		if r.Method == http.MethodGet {
-			route = "negotiate"
-		}
-		cw := &countingWriter{ResponseWriter: w}
-		start := time.Now()
-		a.serveTrain(cw, r)
-		a.Metrics.HTTPRequest(route, time.Since(start).Seconds(), r.ContentLength, cw.n)
+	}
+	if a.Metrics == nil && a.Wall == nil {
+		a.serveTrain(w, r)
 		return
 	}
-	a.serveTrain(w, r)
+	route := "train"
+	if r.Method == http.MethodGet {
+		route = "negotiate"
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	start := time.Now()
+	a.serveTrain(cw, r)
+	secs := time.Since(start).Seconds()
+	if a.Metrics != nil {
+		a.Metrics.HTTPRequest(route, secs, r.ContentLength, cw.n)
+	}
+	if a.Wall != nil {
+		flight, _ := strconv.ParseInt(r.Header.Get(FlightHeader), 10, 64)
+		reqBytes := r.ContentLength
+		if reqBytes < 0 {
+			reqBytes = 0 // chunked: length unknown at the header
+		}
+		_ = a.Wall.Record(obs.WallRecord{
+			Kind: obs.WallKind, Flight: flight, Side: "agent", Route: route,
+			Client: -1, Instance: a.instance, Seconds: secs,
+			ReqBytes: reqBytes, RespBytes: cw.n,
+		})
+	}
 }
 
 // serveTrain is the train/negotiate handler body.
 func (a *Agent) serveTrain(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(instanceHeader, a.instance)
+	if fl := r.Header.Get(FlightHeader); fl != "" {
+		// Echo the flight ID so the server can assert the correlation
+		// contract end to end.
+		w.Header().Set(FlightHeader, fl)
+	}
 	if r.Method == http.MethodGet {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(CodecList{Codecs: a.SupportedCodecs(), Instance: a.instance}); err != nil {
@@ -329,6 +365,11 @@ type HTTPTrainer struct {
 	// the server-side view of the fleet's HTTP traffic. Wall-clock only,
 	// so it never perturbs the simulation's virtual-time determinism.
 	Metrics *obs.Metrics
+	// Wall, when set, appends one obs.WallRecord per dispatch round trip
+	// (side "server"), keyed by flight ID when the dispatch came through
+	// TrainFlight. Like Metrics, it observes wall time only and never
+	// perturbs virtual-time determinism.
+	Wall *obs.JSONLWriter
 
 	// mu guards the negotiation state below; dispatches to different
 	// clients run concurrently and may re-negotiate mid-round.
@@ -496,20 +537,28 @@ func (t *HTTPTrainer) noteInstance(clientID int, instance string) (restarted boo
 // negotiated encoding), the trainer re-negotiates that one client and
 // retries the dispatch once with the freshly agreed codec.
 func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
+	return t.TrainFlight(0, clientID, sent, sentState, seed)
+}
+
+// TrainFlight implements core.FlightTrainer: identical to TrainDispatch,
+// except the flight ID rides along as the Fednet-Flight request header so
+// agent-side wall records correlate with the deterministic flight span.
+// flightID 0 means "no flight" and omits the header.
+func (t *HTTPTrainer) TrainFlight(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
 	if clientID < 0 || clientID >= len(t.URLs) {
 		return core.TrainResult{}, fmt.Errorf("fednet: no agent URL for client %d", clientID)
 	}
-	res, status, err := t.dispatchOnce(clientID, sent, sentState, seed)
+	res, status, err := t.dispatchOnce(flightID, clientID, sent, sentState, seed)
 	if status == http.StatusUnsupportedMediaType {
 		t.negotiateClient(clientID)
-		res, _, err = t.dispatchOnce(clientID, sent, sentState, seed)
+		res, _, err = t.dispatchOnce(flightID, clientID, sent, sentState, seed)
 	}
 	return res, err
 }
 
 // dispatchOnce performs one POST round trip with the currently negotiated
 // codec, returning the HTTP status for the retry decision.
-func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, int, error) {
+func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, int, error) {
 	codec := t.codecFor(clientID)
 	down, err := codec.Encode(sentState, nil)
 	if err != nil {
@@ -521,15 +570,38 @@ func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState 
 	if err != nil {
 		return core.TrainResult{}, 0, err
 	}
+	req, err := http.NewRequest(http.MethodPost, t.URLs[clientID], bytes.NewReader(reqBody))
+	if err != nil {
+		return core.TrainResult{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if flightID > 0 {
+		req.Header.Set(FlightHeader, strconv.FormatInt(flightID, 10))
+	}
 	start := time.Now()
-	httpResp, err := t.HTTPClient.Post(t.URLs[clientID], "application/json", bytes.NewReader(reqBody))
+	httpResp, err := t.HTTPClient.Do(req)
 	if err != nil {
 		return core.TrainResult{}, 0, fmt.Errorf("fednet: dispatch to client %d: %w", clientID, err)
 	}
 	defer httpResp.Body.Close()
-	if t.Metrics != nil {
+	if t.Metrics != nil || t.Wall != nil {
 		defer func() {
-			t.Metrics.HTTPRequest("dispatch", time.Since(start).Seconds(), int64(len(reqBody)), httpResp.ContentLength)
+			secs := time.Since(start).Seconds()
+			if t.Metrics != nil {
+				t.Metrics.HTTPRequest("dispatch", secs, int64(len(reqBody)), httpResp.ContentLength)
+			}
+			if t.Wall != nil {
+				respBytes := httpResp.ContentLength
+				if respBytes < 0 {
+					respBytes = 0 // chunked: length unknown at the header
+				}
+				_ = t.Wall.Record(obs.WallRecord{
+					Kind: obs.WallKind, Flight: flightID, Side: "server", Route: "train",
+					Client: clientID, Instance: httpResp.Header.Get(instanceHeader),
+					Seconds: secs, ReqBytes: int64(len(reqBody)),
+					RespBytes: respBytes, Status: httpResp.StatusCode,
+				})
+			}
 		}()
 	}
 	if httpResp.StatusCode != http.StatusOK {
@@ -583,3 +655,4 @@ func (t *HTTPTrainer) dispatchOnce(clientID int, sent prune.Submodel, sentState 
 
 var _ core.Trainer = (*HTTPTrainer)(nil)
 var _ core.RoundStarter = (*HTTPTrainer)(nil)
+var _ core.FlightTrainer = (*HTTPTrainer)(nil)

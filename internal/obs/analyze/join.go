@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"adaptivefl/internal/obs"
+)
+
+// flightWall is the per-flight wall-clock view joined from both sides of
+// the fednet transport.
+type flightWall struct {
+	serverSecs, agentSecs float64
+	serverN, agentN       int64
+	reqBytes, respBytes   int64
+	instance              string
+}
+
+// routeAgg aggregates one (side, route) series of wall records.
+type routeAgg struct {
+	n        int64
+	sum, max float64
+}
+
+// Join correlates a deterministic span trace with a wall-clock record
+// stream (fednet HTTP timings keyed by the Fednet-Flight header) and
+// writes a deterministic report: per-route aggregates, and the top
+// flights by transport overhead (server-observed wall time minus
+// agent-observed handler time — the network + envelope cost). Wall
+// records are small (two per dispatch), so they are held in a per-flight
+// map while the span trace streams.
+func Join(trace, wall io.Reader, w io.Writer, topN int) error {
+	flights := map[int64]*flightWall{}
+	routes := map[string]*routeAgg{}
+	var orphans int64
+	err := ForEachWall(wall, func(r obs.WallRecord) error {
+		key := r.Side + "/" + r.Route
+		ra := routes[key]
+		if ra == nil {
+			ra = &routeAgg{}
+			routes[key] = ra
+		}
+		ra.n++
+		ra.sum += r.Seconds
+		if r.Seconds > ra.max {
+			ra.max = r.Seconds
+		}
+		if r.Flight == 0 {
+			orphans++
+			return nil
+		}
+		fw := flights[r.Flight]
+		if fw == nil {
+			fw = &flightWall{}
+			flights[r.Flight] = fw
+		}
+		switch r.Side {
+		case "server":
+			fw.serverSecs += r.Seconds
+			fw.serverN++
+			fw.reqBytes += r.ReqBytes
+			fw.respBytes += r.RespBytes
+		case "agent":
+			fw.agentSecs += r.Seconds
+			fw.agentN++
+			if r.Instance != "" {
+				fw.instance = r.Instance
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stream the span trace, matching flight spans to their wall records.
+	var rows []joined
+	var matched, unmatchedSpans int64
+	err = ForEachSpan(trace, func(sp obs.Span) error {
+		if sp.Kind != obs.KindFlight {
+			return nil
+		}
+		fw := flights[sp.Flight]
+		if fw == nil {
+			unmatchedSpans++
+			return nil
+		}
+		matched++
+		delete(flights, sp.Flight)
+		j := joined{flight: sp.Flight, client: sp.Client, outcome: sp.Outcome,
+			serverS: fw.serverSecs, agentS: fw.agentSecs,
+			reqBytes: fw.reqBytes, respBytes: fw.respBytes, instance: fw.instance}
+		if fw.serverN > 0 && fw.agentN > 0 {
+			j.overhead = fw.serverSecs - fw.agentSecs
+		}
+		rows = append(rows, j)
+		// Keep the retained set bounded: only the current top-N by
+		// overhead survive between batches.
+		if len(rows) > 4*topN {
+			sortJoined(rows)
+			rows = rows[:topN]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sortJoined(rows)
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+
+	fmt.Fprintf(w, "== wall routes ==\n")
+	keys := make([]string, 0, len(routes))
+	for k := range routes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%-20s %9s %12s %12s\n", "side/route", "count", "mean_ms", "max_ms")
+	for _, k := range keys {
+		ra := routes[k]
+		fmt.Fprintf(w, "%-20s %9d %12.3f %12.3f\n", k, ra.n, 1e3*ra.sum/float64(ra.n), 1e3*ra.max)
+	}
+	fmt.Fprintf(w, "\nflights joined %d  spans without wall records %d  wall records without flight %d  wall flights without span %d\n",
+		matched, unmatchedSpans, orphans, int64(len(flights)))
+
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\n== top flights by transport overhead (server wall − agent handler) ==\n")
+		fmt.Fprintf(w, "%-8s %-8s %-12s %12s %12s %12s %10s %10s  %s\n",
+			"flight", "client", "outcome", "server_ms", "agent_ms", "overhead_ms", "req_bytes", "resp_bytes", "instance")
+		for _, j := range rows {
+			fmt.Fprintf(w, "%-8d %-8d %-12s %12.3f %12.3f %12.3f %10d %10d  %s\n",
+				j.flight, j.client, j.outcome, 1e3*j.serverS, 1e3*j.agentS, 1e3*j.overhead,
+				j.reqBytes, j.respBytes, j.instance)
+		}
+	}
+	return nil
+}
+
+// joined is one flight's correlated deterministic + wall-clock view.
+type joined struct {
+	flight              int64
+	client              int
+	outcome             string
+	overhead            float64
+	serverS, agentS     float64
+	reqBytes, respBytes int64
+	instance            string
+}
+
+func sortJoined(rows []joined) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].overhead != rows[j].overhead {
+			return rows[i].overhead > rows[j].overhead
+		}
+		return rows[i].flight < rows[j].flight
+	})
+}
+
+// JoinFiles is the CLI entry: trace and wall paths, report to w.
+func JoinFiles(tracePath, wallPath string, w io.Writer, topN int) error {
+	wf, err := os.Open(wallPath)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	return Join(tf, wf, w, topN)
+}

@@ -1,0 +1,109 @@
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adaptivefl/internal/obs"
+)
+
+// maxLineBytes bounds one trace line. Spans are a few hundred bytes; a
+// megabyte of headroom keeps the reader safe against pathological lines
+// without ever holding more than one in memory.
+const maxLineBytes = 1 << 20
+
+// ForEachSpan streams spans from a JSONL trace, invoking fn for each in
+// file order. Memory is bounded by one line: the reader never retains
+// past spans, which is what lets fltrace chew through a million-client
+// smoke trace. Blank lines are skipped; wall records (kind "wall") are
+// tolerated and skipped, so a combined span+wall stream still scans.
+// fn returning an error aborts the scan with that error.
+func ForEachSpan(r io.Reader, fn func(obs.Span) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line := 0
+	for {
+		raw, err := readLine(br)
+		if err == io.EOF && len(raw) == 0 {
+			return nil
+		}
+		if err != nil && err != io.EOF {
+			return err
+		}
+		atEOF := err == io.EOF
+		line++
+		if len(trimSpace(raw)) > 0 {
+			var sp obs.Span
+			if uerr := json.Unmarshal(raw, &sp); uerr != nil {
+				return fmt.Errorf("analyze: trace line %d: %w", line, uerr)
+			}
+			if sp.Kind != obs.WallKind {
+				if ferr := fn(sp); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if atEOF {
+			return nil
+		}
+	}
+}
+
+// ForEachWall streams wall records (kind "wall") from a JSONL stream,
+// skipping any interleaved spans.
+func ForEachWall(r io.Reader, fn func(obs.WallRecord) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line := 0
+	for {
+		raw, err := readLine(br)
+		if err == io.EOF && len(raw) == 0 {
+			return nil
+		}
+		if err != nil && err != io.EOF {
+			return err
+		}
+		atEOF := err == io.EOF
+		line++
+		if len(trimSpace(raw)) > 0 {
+			var wr obs.WallRecord
+			if uerr := json.Unmarshal(raw, &wr); uerr != nil {
+				return fmt.Errorf("analyze: wall line %d: %w", line, uerr)
+			}
+			if wr.Kind == obs.WallKind {
+				if ferr := fn(wr); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if atEOF {
+			return nil
+		}
+	}
+}
+
+// readLine reads one newline-terminated line (without the terminator),
+// failing on lines over maxLineBytes instead of silently splitting them.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	raw, err := br.ReadBytes('\n')
+	if len(raw) > maxLineBytes {
+		return nil, fmt.Errorf("analyze: trace line exceeds %d bytes", maxLineBytes)
+	}
+	if n := len(raw); n > 0 && raw[n-1] == '\n' {
+		raw = raw[:n-1]
+		if n := len(raw); n > 0 && raw[n-1] == '\r' {
+			raw = raw[:n-1]
+		}
+	}
+	return raw, err
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

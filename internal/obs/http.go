@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves the registry at /metrics in Prometheus text format.
@@ -26,16 +28,39 @@ func Handler(m *Metrics, withPprof bool) http.Handler {
 	return mux
 }
 
+// serveShutdownTimeout bounds how long the shutdown func waits for
+// in-flight scrapes before force-closing them.
+const serveShutdownTimeout = 5 * time.Second
+
 // Serve listens on addr (e.g. "127.0.0.1:9090", port 0 for ephemeral)
 // and serves Handler in a background goroutine. It returns the bound
 // address and a shutdown func. The caller's run is never blocked on the
 // listener: serve errors after a successful bind are discarded.
+//
+// The shutdown func drains gracefully (http.Server.Shutdown with a short
+// timeout, then force-close) and joins the serve goroutine before
+// returning, so tests and cmds that call it leak neither the listener
+// nor the goroutine.
 func Serve(addr string, m *Metrics, withPprof bool) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: Handler(m, withPprof)}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), serveShutdownTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// In-flight requests outlived the grace window; cut them off.
+			srv.Close()
+		}
+		if serveErr := <-done; serveErr != nil && serveErr != http.ErrServerClosed && err == nil {
+			err = serveErr
+		}
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }

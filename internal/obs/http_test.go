@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeShutdown pins the Serve lifecycle: the endpoint scrapes while
+// live, shutdown returns cleanly, the port is actually released, and the
+// serve goroutine is joined rather than leaked.
+func TestServeShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewMetrics()
+	m.applySpan(sampleFlight())
+	addr, shutdown, err := Serve("127.0.0.1:0", m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "fl_flights_total") {
+		t.Fatalf("scrape missing fl_flights_total:\n%s", body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is closed: new connections must be refused.
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+	// The serve goroutine is joined; allow idle HTTP keep-alive workers a
+	// moment to unwind before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Fatalf("goroutines grew from %d to %d across Serve+shutdown", before, n)
+	}
+
+	// A second Serve on an ephemeral port must coexist and shut down too.
+	_, shutdown2, err := Serve("127.0.0.1:0", m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

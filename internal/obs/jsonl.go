@@ -20,12 +20,13 @@ const jsonlBufSize = 64 << 10
 // declaration order, and engine spans arrive in event order, so two
 // same-seed runs produce identical trace files.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	c   io.Closer
-	n   atomic.Int64
-	err error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	c       io.Closer
+	n       atomic.Int64
+	dropped atomic.Int64
+	err     error
 }
 
 // NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
@@ -39,23 +40,56 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 }
 
 // Span writes one span line. Write errors are sticky: the first is kept
-// and later spans are dropped (a failing trace sink must not stall or
-// perturb the run).
+// and later spans are dropped and counted (a failing trace sink must not
+// stall or perturb the run — the SpanSink interface has no error return
+// by design). The loss is never silent: Err and Dropped expose it mid-run
+// and Close returns the original error, so callers that care fail loudly
+// at shutdown.
 func (j *JSONLWriter) Span(s Span) {
 	j.mu.Lock()
 	if j.err == nil {
 		j.err = j.enc.Encode(s)
 	}
+	dropped := j.err != nil
 	j.mu.Unlock()
 	j.n.Add(1)
+	if dropped {
+		j.dropped.Add(1)
+	}
+}
+
+// Record writes one arbitrary JSON line (e.g. a WallRecord) through the
+// same buffered stream, returning any write error immediately as well as
+// keeping it sticky. Lines written via Record are not counted by Count.
+func (j *JSONLWriter) Record(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.enc.Encode(v)
+	return j.err
 }
 
 // Count returns the number of spans received (including any dropped
 // after a write error).
 func (j *JSONLWriter) Count() int64 { return j.n.Load() }
 
+// Dropped returns how many spans were discarded because an earlier write
+// failed. Nonzero means the trace on disk is incomplete.
+func (j *JSONLWriter) Dropped() int64 { return j.dropped.Load() }
+
+// Err returns the sticky write error, or nil if every line so far was
+// accepted by the underlying writer.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
 // Close flushes and closes the underlying writer, returning the first
-// error seen.
+// error seen (an earlier write error takes precedence over flush/close
+// errors, since it is the root cause of any dropped spans).
 func (j *JSONLWriter) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter accepts the first ok writes, then fails everything; Close
+// fails too, with a distinct error, to pin the precedence in Close.
+type failWriter struct {
+	ok       int
+	writes   int
+	closed   bool
+	writeErr error
+	closeErr error
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.ok {
+		return 0, f.writeErr
+	}
+	return len(p), nil
+}
+
+func (f *failWriter) Close() error {
+	f.closed = true
+	return f.closeErr
+}
+
+// TestJSONLWriterSurfacesWriteErrors pins the error path: a failing sink
+// makes the first error sticky, later spans are counted as dropped rather
+// than silently vanishing, and Close returns the root-cause write error —
+// not the close error that followed it.
+func TestJSONLWriterSurfacesWriteErrors(t *testing.T) {
+	fw := &failWriter{writeErr: errors.New("disk full"), closeErr: errors.New("close failed")}
+	jw := NewJSONLWriter(fw)
+
+	// The encoder writes through a 64 KiB bufio buffer, so force the spill
+	// with more span bytes than the buffer holds.
+	span := Span{Kind: KindFlight, Client: 1, Outcome: OutcomeMerged}
+	for i := 0; jw.Err() == nil && i < 10_000; i++ {
+		span.Flight = int64(i + 1)
+		jw.Span(span)
+	}
+	if jw.Err() == nil {
+		t.Fatal("no sticky error after overflowing a failing writer")
+	}
+	if !errors.Is(jw.Err(), fw.writeErr) {
+		t.Fatalf("Err() = %v, want the underlying write error", jw.Err())
+	}
+	before := jw.Dropped()
+	jw.Span(span)
+	if jw.Dropped() != before+1 {
+		t.Fatalf("Dropped() = %d after a post-error span, want %d", jw.Dropped(), before+1)
+	}
+	if err := jw.Record(WallRecord{Kind: WallKind}); !errors.Is(err, fw.writeErr) {
+		t.Fatalf("Record after write error = %v, want the sticky error", err)
+	}
+	if err := jw.Close(); !errors.Is(err, fw.writeErr) {
+		t.Fatalf("Close = %v, want the original write error to take precedence", err)
+	}
+	if !fw.closed {
+		t.Fatal("Close did not close the underlying writer")
+	}
+}
+
+// TestJSONLWriterCloseError pins that a clean stream still surfaces a
+// failing Close of the underlying writer.
+func TestJSONLWriterCloseError(t *testing.T) {
+	fw := &failWriter{ok: 1 << 30, closeErr: errors.New("close failed")}
+	jw := NewJSONLWriter(fw)
+	jw.Span(Span{Kind: KindFlight})
+	if err := jw.Close(); !errors.Is(err, fw.closeErr) {
+		t.Fatalf("Close = %v, want the underlying close error", err)
+	}
+	if jw.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d on a clean stream", jw.Dropped())
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBoundaryEdges pins the le semantics at the exact bucket
+// bounds: a sample equal to an upper bound lands in that bound's bucket
+// (Prometheus cumulative-le convention), and anything above the last bound
+// lands in the implicit +Inf bucket.
+func TestHistogramBoundaryEdges(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},          // below every bound
+		{1, 0},          // exactly on the first bound → le="1"
+		{1.0000001, 1},  // just above it
+		{10, 1},         // exactly on the middle bound
+		{100, 2},        // exactly on the last finite bound
+		{100.000001, 3}, // above it → +Inf
+		{1e12, 3},
+	}
+	for i, c := range cases {
+		before := h.counts[c.bucket].Load()
+		h.Observe(c.v)
+		if got := h.counts[c.bucket].Load(); got != before+1 {
+			t.Fatalf("case %d: Observe(%v) did not land in bucket %d", i, c.v, c.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+
+	// The exposition's +Inf bucket must equal the total count, and the
+	// cumulative bucket for le="1" must include the boundary sample.
+	m := NewMetrics()
+	for _, c := range cases {
+		m.HTTPRequest("edge", c.v, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	infLine := fmt.Sprintf(`fl_http_request_seconds_bucket{route="edge",le="+Inf"} %d`, len(cases))
+	if !strings.Contains(text, infLine) {
+		t.Fatalf("exposition missing %q:\n%s", infLine, text)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; under -race this doubles as the lock-free Observe's data-race
+// check, and the totals pin that no sample or sum update is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%5) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		wantSum += perWorker * (float64(w%5) + 0.5)
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %g, want %g (CAS sum lost updates)", got, wantSum)
+	}
+	var bucketTotal int64
+	for i := range h.counts {
+		bucketTotal += h.counts[i].Load()
+	}
+	if bucketTotal != h.Count() {
+		t.Fatalf("bucket counts sum to %d, count is %d", bucketTotal, h.Count())
+	}
+}

@@ -103,6 +103,17 @@ type Span struct {
 	Edge   int    `json:"edge,omitempty"`
 	Op     string `json:"op,omitempty"`
 
+	// Flight is the dispatch's flight ID (KindFlight; IDs start at 1, so 0
+	// marshals away and means "no flight"). It is the correlation key
+	// across processes: fednet threads it through HTTP requests as the
+	// Fednet-Flight header, so agent-side wall-clock records join back to
+	// the deterministic span (fltrace join). Ver is the global-model
+	// version the dispatch was cut from — the staleness anchor — letting an
+	// auditor replay per-tier version counters from the stream and check
+	// every span's stale field against sched.StalenessDiscount's input.
+	Flight int64 `json:"flight,omitempty"`
+	Ver    int   `json:"ver,omitempty"`
+
 	// Flight payload facts: the dispatched and returned pool members (the
 	// width decision), the negotiated codec, and the bytes that crossed —
 	// estimated (pricing) and actual.

@@ -1,0 +1,29 @@
+package obs
+
+// WallRecord is one wall-clock observation of a fednet HTTP exchange,
+// keyed by the flight ID the server threads through the Fednet-Flight
+// request header. Wall records live in a *separate* JSONL stream from
+// spans — they are real-time measurements and therefore nondeterministic,
+// and mixing them into a span trace would break its byte-identity
+// guarantee. `fltrace join` matches them to flight spans by ID.
+type WallRecord struct {
+	Kind string `json:"kind"` // always "wall"
+	// Flight is the correlation key (0 when the request carried no
+	// header, e.g. a negotiate round trip).
+	Flight int64 `json:"flight,omitempty"`
+	// Side is which process measured: "server" (HTTPTrainer dispatch,
+	// includes network + agent time) or "agent" (route handler only).
+	Side string `json:"side"`
+	// Route is the path class ("train", "negotiate").
+	Route     string  `json:"route"`
+	Client    int     `json:"client"`
+	Instance  string  `json:"instance,omitempty"`
+	Seconds   float64 `json:"seconds"`
+	ReqBytes  int64   `json:"req_bytes,omitempty"`
+	RespBytes int64   `json:"resp_bytes,omitempty"`
+	Status    int     `json:"status,omitempty"`
+}
+
+// WallKind is the Kind value of every WallRecord line; the trace reader
+// uses it to skip wall records when a combined stream is scanned.
+const WallKind = "wall"

@@ -108,6 +108,14 @@ type Engine struct {
 	// obs is the resolved observer (Config.Observer, falling back to the
 	// server's). Nil when observability is off; always safe to call.
 	obs *obs.Observer
+	// spanEdge tags every span this engine emits with an edge index, so a
+	// hierarchy's shared trace stays groupable per tier (0 — the flat-run
+	// default — marshals away, matching the global tier's spans).
+	spanEdge int
+	// discountSum accumulates StalenessDiscount over every update this
+	// engine appended to an aggregation (fresh merges count 1.0). It is the
+	// ledger-side anchor for the trace auditor's discount reconciliation.
+	discountSum float64
 
 	// semiasync stream state, persisted across Steps.
 	buffer []agg.Update
@@ -170,8 +178,30 @@ func (e *Engine) emitFlight(fl *flight, d core.Dispatch, oc core.Outcome) {
 	sp.DownEnd = fl.downT
 	sp.TrainEnd = fl.trainT
 	sp.End = fl.eta
+	sp.Edge = e.spanEdge
 	e.obs.Span(sp)
 }
+
+// SetSpanEdge tags every span this engine emits with an edge index.
+// NewHierarchy calls it so edge traces multiplexed into one sink stay
+// separable; flat runs keep the zero default.
+func (e *Engine) SetSpanEdge(id int) { e.spanEdge = id }
+
+// noteMerge accrues the staleness discount of one update entering an
+// aggregation. Called exactly where an update is appended (fresh merges
+// have stale=0 and count 1.0), so DiscountSum is the ground truth the
+// trace auditor reconciles Σ StalenessDiscount(span.stale, α) against.
+func (e *Engine) noteMerge(stale int) {
+	e.discountSum += StalenessDiscount(stale, e.cfg.StalenessExp)
+}
+
+// DiscountSum returns the accumulated staleness discount over every
+// update this engine merged (see noteMerge).
+func (e *Engine) DiscountSum() float64 { return e.discountSum }
+
+// StalenessExp returns the normalized staleness exponent α the engine
+// discounts with.
+func (e *Engine) StalenessExp() float64 { return e.cfg.StalenessExp }
 
 // Clock returns the current virtual time in seconds.
 func (e *Engine) Clock() float64 { return e.clock }
@@ -520,6 +550,7 @@ func (e *Engine) bankResidual(fl *flight) error {
 	}
 	if u != nil {
 		u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
+		e.noteMerge(stale)
 		e.bank = append(e.bank, *u)
 	}
 	e.emitFlight(fl, d, core.LateReused)
@@ -566,8 +597,8 @@ func (e *Engine) commitRecorded(round int, stats core.RoundStats, updates []agg.
 		e.clock, round, c.Merged, c.Failed, c.Late, c.LateReused, c.Dropped)
 	if e.obs.Enabled() {
 		e.obs.Span(obs.Span{Kind: obs.KindCommit, Time: e.clock, Client: -1,
-			Round: round, Merged: c.Merged, Failed: c.Failed, Late: c.Late,
-			Reused: c.LateReused, Dropped: c.Dropped})
+			Round: round, Edge: e.spanEdge, Merged: c.Merged, Failed: c.Failed,
+			Late: c.Late, Reused: c.LateReused, Dropped: c.Dropped})
 	}
 	return c, nil
 }
@@ -601,9 +632,11 @@ func (e *Engine) stepSync() (Commit, error) {
 		if fl.drops {
 			oc = core.Dropped
 		}
+		stale := e.srv.Staleness(fl.f)
 		d, u := e.srv.Record(fl.f, oc)
 		stats.Add(d)
 		if u != nil {
+			e.noteMerge(stale)
 			updates = append(updates, *u)
 		}
 		e.emitFlight(fl, d, oc)
@@ -708,9 +741,11 @@ func (e *Engine) stepDeadline(reuse bool) (Commit, error) {
 			fl.f.Cancel()
 		}
 		fl.recorded = true
+		stale := e.srv.Staleness(fl.f)
 		d, u := e.srv.Record(fl.f, oc)
 		stats.Add(d)
 		if u != nil {
+			e.noteMerge(stale)
 			updates = append(updates, *u)
 		}
 		e.emitFlight(fl, d, oc)
@@ -807,6 +842,7 @@ func (e *Engine) stepSemiAsync() (Commit, error) {
 		e.emitFlight(ev.fl, d, core.Merged)
 		if u != nil {
 			u.Weight *= StalenessDiscount(stale, e.cfg.StalenessExp)
+			e.noteMerge(stale)
 			e.buffer = append(e.buffer, *u)
 		}
 		if len(e.buffer) >= e.cfg.Buffer {

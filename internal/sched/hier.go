@@ -116,6 +116,10 @@ type Hierarchy struct {
 
 	log     []string
 	commits []GlobalCommit
+	// discountSum accumulates StalenessDiscount over every edge update
+	// folded into the global buffer — the global-tier anchor for the trace
+	// auditor's discount reconciliation (mirrors Engine.DiscountSum).
+	discountSum float64
 }
 
 // NewHierarchy builds the two-tier topology over prepared edges. cost
@@ -130,6 +134,9 @@ func NewHierarchy(edges []*Edge, cost CostModel, cfg HierConfig) (*Hierarchy, er
 			return nil, fmt.Errorf("sched: edge %d is missing its server or engine", i)
 		}
 		ed.id = i
+		// Tag the edge engine's spans so a shared trace sink can group
+		// flights and commits per edge.
+		ed.Eng.SetSpanEdge(i)
 	}
 	if cost == nil {
 		return nil, fmt.Errorf("sched: hierarchy needs a cost model")
@@ -164,6 +171,13 @@ func (h *Hierarchy) Global() nn.State { return h.global }
 
 // Commits returns the global merges so far.
 func (h *Hierarchy) Commits() []GlobalCommit { return h.commits }
+
+// DiscountSum returns the accumulated staleness discount over every edge
+// update folded into the global tier.
+func (h *Hierarchy) DiscountSum() float64 { return h.discountSum }
+
+// StalenessExp returns the normalized global-tier staleness exponent.
+func (h *Hierarchy) StalenessExp() float64 { return h.cfg.StalenessExp }
 
 // Log returns the global tier's event log: edge commits entering transit,
 // arrivals folding into the buffer, down-syncs, and global merges. Each
@@ -254,6 +268,7 @@ func (h *Hierarchy) Step() (GlobalCommit, error) {
 				State:  a.state,
 				Weight: a.weight * StalenessDiscount(stale, h.cfg.StalenessExp),
 			})
+			h.discountSum += StalenessDiscount(stale, h.cfg.StalenessExp)
 			h.buffered++
 			h.logf("%.3f global-arrive edge=%d stale=%d", a.t, a.edge, stale)
 			if h.cfg.Observer.Enabled() {
