@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptivefl/internal/agg"
 	"adaptivefl/internal/baselines"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
@@ -89,7 +90,9 @@ func main() {
 		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 		schedP    = flag.String("sched", "", "aggregation policy: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
 		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
-		trace     = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]")
+		trace     = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]; an adversary spec may ride after a ';'")
+		aggP      = flag.String("agg", "", "server aggregation policy: mean|trim[:frac=]|krum[:frac=,m=]|clip[:tau=], '+'-composable (empty = exact weighted mean)")
+		advP      = flag.String("adversary", "", "compromise a deterministic client fraction (core.ParseAdversary grammar, e.g. signflip:frac=0.3 or mix:frac=0.3,signflip=1,scale=1)")
 		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
 		useFednet = flag.Bool("fednet", false, "dispatch through real loopback HTTP agents (fednet.Cluster) instead of in-process training")
 
@@ -152,6 +155,26 @@ func main() {
 		sc.Trace = *trace
 	} else if *trace != "" {
 		fatal(fmt.Errorf("-trace requires -sched"))
+	}
+	if *aggP != "" {
+		if _, _, err := agg.ParsePolicy(*aggP); err != nil {
+			fatal(err)
+		}
+		// Only the AdaptiveFL server owns a robust aggregation stage; the
+		// baselines merge with their own exact means.
+		if !strings.HasPrefix(*alg, "AdaptiveFL") {
+			fatal(fmt.Errorf("-agg applies to AdaptiveFL variants only (got -alg %s)", *alg))
+		}
+		sc.Agg = *aggP
+	}
+	if *advP != "" {
+		if _, err := core.ParseAdversary(*advP); err != nil {
+			fatal(err)
+		}
+		if !strings.HasPrefix(*alg, "AdaptiveFL") {
+			fatal(fmt.Errorf("-adversary applies to AdaptiveFL variants only (got -alg %s)", *alg))
+		}
+		sc.Adversary = *advP
 	}
 	if *estimate {
 		if sc.Codec == "" {
@@ -224,6 +247,15 @@ func main() {
 				}
 			}()
 		}
+		if _, adv, err := sc.SplitAdversary(); err != nil {
+			fatal(err)
+		} else if adv.Enabled() {
+			// Arm the agents with the resolved (spec, seed): the attacker
+			// set matches an in-process run exactly, and Corrupt clients
+			// flip bits on the real HTTP payload.
+			cluster.SetAdversary(adv)
+			fmt.Fprintf(os.Stderr, "adaptivefl: agents armed with adversary %q (seed %d)\n", adv, adv.Seed)
+		}
 		sc.Trainer = cluster.Trainer
 		fmt.Printf("fednet: %d loopback agents spawned (codec=%q negotiated per agent)\n",
 			len(cluster.Agents), sc.Codec)
@@ -261,6 +293,14 @@ func main() {
 	}
 	if ok {
 		fmt.Printf("communication waste: %.2f%%\n", adaptive.Waste()*100)
+		if sc.Agg != "" || sc.Adversary != "" || strings.Contains(sc.Trace, ";") {
+			rej, clipped := 0, 0
+			for _, st := range adaptive.Srv.Stats() {
+				rej += st.Rejected
+				clipped += st.Clipped
+			}
+			fmt.Printf("robust ledger (agg=%q): %d uploads rejected, %d clipped\n", sc.Agg, rej, clipped)
+		}
 		if sc.Codec != "" || *useFednet {
 			sent, back := core.TotalWireBytes(adaptive.Srv.Stats())
 			fmt.Printf("wire bytes (codec=%s): %.2f MB down, %.2f MB up\n",

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all \
+//	flbench -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|byzantine|all \
 //	        -scale quick|small|paper [-dataset cifar10,...] [-arch vgg16,...] \
 //	        [-sched sync|deadline|deadline-reuse|semiasync] \
-//	        [-trace straggler|churn|always] [-codec q8 [-wire-estimate]]
+//	        [-trace straggler|churn|always] [-codec q8 [-wire-estimate]] \
+//	        [-agg trim:frac=0.45] [-adversary mix:frac=0.3,signflip=1,scale=1]
 //
 // With -pop a parametric population spec replaces the experiment tables:
 // the fleet is generated lazily (core.ParsePopulation grammar) and driven
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
@@ -90,14 +92,16 @@ func setupObs(traceOut, metricsAddr string, withPprof, progress bool) (*obs.Obse
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|all")
+		expName   = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|byzantine|all")
 		scale     = flag.String("scale", "quick", "fidelity: quick|small|paper")
 		datasets  = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
 		archs     = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
 		dists     = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
 		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
 		schedP    = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
-		trace     = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...])")
+		trace     = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...]); an adversary spec may ride after a ';'")
+		aggP      = flag.String("agg", "", "aggregation policy for AdaptiveFL rows: mean|trim[:frac=]|krum[:frac=,m=]|clip[:tau=], '+'-composable (empty = exact weighted mean)")
+		advP      = flag.String("adversary", "", "Byzantine sub-population for AdaptiveFL rows (core.ParseAdversary grammar, e.g. signflip:frac=0.3); -exp byzantine uses it as the mounted attack")
 		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
 		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
 		benchOut  = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
@@ -170,6 +174,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flbench: -sched %s applies to AdaptiveFL variants only; baseline rows keep their synchronous loops\n", *schedP)
 	}
 	sc.Trace = *trace
+	if *aggP != "" {
+		if _, _, err := agg.ParsePolicy(*aggP); err != nil {
+			fatal(err)
+		}
+		sc.Agg = *aggP
+		fmt.Fprintf(os.Stderr, "flbench: -agg %s applies to AdaptiveFL variants only; baseline rows keep their exact means\n", *aggP)
+	}
+	if *advP != "" {
+		if _, err := core.ParseAdversary(*advP); err != nil {
+			fatal(err)
+		}
+		sc.Adversary = *advP
+		fmt.Fprintf(os.Stderr, "flbench: -adversary %s compromises clients on AdaptiveFL rows only\n", *advP)
+	}
 	if *codec != "" {
 		if _, err := wire.ByTag(*codec); err != nil {
 			fatal(err)
@@ -238,6 +256,9 @@ func main() {
 	}
 	if want("sched") {
 		run("sched", func() error { return exp.TableSched(w, sc) })
+	}
+	if want("byzantine") {
+		run("byzantine", func() error { return exp.TableByzantine(w, sc) })
 	}
 }
 

@@ -6,8 +6,6 @@
 package agg
 
 import (
-	"fmt"
-
 	"adaptivefl/internal/nn"
 	"adaptivefl/internal/tensor"
 )
@@ -21,22 +19,13 @@ type Update struct {
 
 // Aggregate merges heterogeneous updates into a new global state. Every
 // tensor in every update must have the same name as — and fit as a prefix
-// block of — the matching global tensor. Updates may omit parameters they
-// do not hold; parameters no update covers are carried over unchanged.
+// block of — the matching global tensor, and every value must be finite
+// (a NaN or Inf would silently poison every element it touches). Updates
+// may omit parameters they do not hold; parameters no update covers are
+// carried over unchanged.
 func Aggregate(global nn.State, updates []Update) (nn.State, error) {
-	for ui, u := range updates {
-		if u.Weight <= 0 {
-			return nil, fmt.Errorf("agg: update %d has non-positive weight %v", ui, u.Weight)
-		}
-		for name, v := range u.State {
-			g, ok := global[name]
-			if !ok {
-				return nil, fmt.Errorf("agg: update %d has unknown parameter %q", ui, name)
-			}
-			if !tensor.PrefixFits(v, g) {
-				return nil, fmt.Errorf("agg: update %d parameter %q shape %v does not fit global %v", ui, name, v.Shape, g.Shape)
-			}
-		}
+	if err := validateUpdates(global, updates); err != nil {
+		return nil, err
 	}
 	out := make(nn.State, len(global))
 	for name, g := range global {

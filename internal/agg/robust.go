@@ -1,0 +1,448 @@
+// Robust aggregation policies: composable Byzantine-resilient
+// alternatives to the plain weighted mean, adapted to AdaptiveFL's
+// heterogeneous prefix-block updates. Trimming and Krum scoring only ever
+// consider the elements each width actually covers; where coverage is too
+// thin to be robust the policies fall back to the weighted mean, so an
+// attack-free run aggregates exactly like Aggregate does.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// Policy merges a set of heterogeneous updates into a new global state.
+// Implementations must be deterministic in (global, updates) — the
+// serial-vs-parallel bit-identity property covers every policy.
+type Policy interface {
+	Name() string
+	Aggregate(global nn.State, updates []Update) (nn.State, error)
+}
+
+// Mean is the default policy: the paper's weighted prefix mean
+// (Aggregate), named so a ledger can report it.
+type Mean struct{}
+
+// Name implements Policy.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate implements Policy.
+func (Mean) Aggregate(global nn.State, updates []Update) (nn.State, error) {
+	return Aggregate(global, updates)
+}
+
+// TrimmedMean is the coordinate-wise trimmed mean: per element, the
+// t = ⌊Frac·n⌋ smallest and largest covering values are discarded (t
+// taken from the total update count n — attackers reach every element
+// they cover) and the remainder averaged (unweighted — robustness comes
+// from rank order, and sample-count weights are attacker-controlled).
+// Elements whose coverage is too thin to trim (fewer than 2t+1 covering
+// updates, including every element only one update covers) fall back to
+// the weighted mean, so a deep prefix coordinate never goes
+// un-aggregated just because few widths reach it.
+type TrimmedMean struct {
+	// Frac is the per-side trim fraction in [0, 0.5).
+	Frac float64
+}
+
+// Name implements Policy.
+func (p TrimmedMean) Name() string {
+	return "trim:frac=" + strconv.FormatFloat(p.Frac, 'g', -1, 64)
+}
+
+// Aggregate implements Policy.
+func (p TrimmedMean) Aggregate(global nn.State, updates []Update) (nn.State, error) {
+	if p.Frac < 0 || p.Frac >= 0.5 {
+		return nil, fmt.Errorf("agg: trim fraction %v outside [0, 0.5)", p.Frac)
+	}
+	if err := validateUpdates(global, updates); err != nil {
+		return nil, err
+	}
+	out := make(nn.State, len(global))
+	vals := make([]float64, 0, len(updates))
+	// The trim count comes from the full update count, not per-element
+	// coverage: an attacker controls ⌊Frac·n⌋ of the n updates wherever
+	// they reach, so elements fewer than 2t+1 updates cover cannot be
+	// trimmed safely and fall back to the weighted mean.
+	trim := int(p.Frac * float64(len(updates)))
+	for name, g := range global {
+		res := g.Clone()
+		covering := coveringTensors(name, updates)
+		if len(covering) == 0 {
+			out[name] = res
+			continue
+		}
+		gs := g.Strides()
+		var walk func(off int, shape, strides []int, pos []int)
+		walk = func(off int, shape, strides []int, pos []int) {
+			if len(shape) == 0 {
+				vals = vals[:0]
+				var wsum, wval float64
+				for _, cv := range covering {
+					if v, ok := cv.at(pos); ok {
+						vals = append(vals, v)
+						wsum += cv.weight
+						wval += cv.weight * v
+					}
+				}
+				if len(vals) == 0 {
+					return
+				}
+				if 2*trim >= len(vals) {
+					// Coverage too thin to trim: weighted mean, exactly
+					// what Aggregate computes for this element.
+					res.Data[off] = wval / wsum
+					return
+				}
+				sort.Float64s(vals)
+				sum := 0.0
+				for _, v := range vals[trim : len(vals)-trim] {
+					sum += v
+				}
+				res.Data[off] = sum / float64(len(vals)-2*trim)
+				return
+			}
+			for i := 0; i < shape[0]; i++ {
+				walk(off+i*strides[0], shape[1:], strides[1:], append(pos, i))
+			}
+		}
+		walk(0, g.Shape, gs, make([]int, 0, len(g.Shape)))
+		out[name] = res
+	}
+	return out, nil
+}
+
+// coveredTensor is one update's view of a global tensor, with enough
+// geometry to answer point queries over the prefix block it covers.
+type coveredTensor struct {
+	t       *tensor.Tensor
+	strides []int
+	weight  float64
+}
+
+// at returns the update's value at the global position pos, if covered.
+func (cv coveredTensor) at(pos []int) (float64, bool) {
+	off := 0
+	for i, p := range pos {
+		if p >= cv.t.Shape[i] {
+			return 0, false
+		}
+		off += p * cv.strides[i]
+	}
+	return cv.t.Data[off], true
+}
+
+// coveringTensors collects the updates holding tensor name.
+func coveringTensors(name string, updates []Update) []coveredTensor {
+	var out []coveredTensor
+	for _, u := range updates {
+		if v, ok := u.State[name]; ok {
+			out = append(out, coveredTensor{t: v, strides: v.Strides(), weight: u.Weight})
+		}
+	}
+	return out
+}
+
+// validateUpdates runs Aggregate's shape/weight/finiteness admission
+// checks without aggregating.
+func validateUpdates(global nn.State, updates []Update) error {
+	for ui, u := range updates {
+		if u.Weight <= 0 {
+			return fmt.Errorf("agg: update %d has non-positive weight %v", ui, u.Weight)
+		}
+		for name, v := range u.State {
+			g, ok := global[name]
+			if !ok {
+				return fmt.Errorf("agg: update %d has unknown parameter %q", ui, name)
+			}
+			if !tensor.PrefixFits(v, g) {
+				return fmt.Errorf("agg: update %d parameter %q shape %v does not fit global %v", ui, name, v.Shape, g.Shape)
+			}
+			for _, x := range v.Data {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return fmt.Errorf("agg: update %d parameter %q contains a non-finite value", ui, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Krum scores every update by the summed squared distances to its
+// n−f−2 nearest peers — distances taken per element over the prefix
+// block both updates cover, normalised by the shared element count so
+// narrow and wide submodels score comparably — and aggregates the M
+// lowest-scoring updates by weighted mean (M = 1 is classic Krum,
+// M > 1 multi-Krum). f = ⌊Frac·n⌋ is the assumed attacker count. With
+// too few updates to score (n − f − 2 < 1) the policy falls back to the
+// weighted mean of all of them.
+type Krum struct {
+	// Frac is the assumed adversarial fraction in [0, 0.5).
+	Frac float64
+	// M is how many lowest-scoring updates are averaged (min 1).
+	M int
+}
+
+// Name implements Policy.
+func (p Krum) Name() string {
+	return "krum:frac=" + strconv.FormatFloat(p.Frac, 'g', -1, 64) + ",m=" + strconv.Itoa(p.M)
+}
+
+// Aggregate implements Policy.
+func (p Krum) Aggregate(global nn.State, updates []Update) (nn.State, error) {
+	if p.Frac < 0 || p.Frac >= 0.5 {
+		return nil, fmt.Errorf("agg: krum fraction %v outside [0, 0.5)", p.Frac)
+	}
+	if err := validateUpdates(global, updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	f := int(p.Frac * float64(n))
+	neighbors := n - f - 2
+	if neighbors < 1 {
+		// Too few candidates to score robustly.
+		return Aggregate(global, updates)
+	}
+	m := p.M
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	// Pairwise mean-squared distances over common coverage.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := stateDistance(updates[i].State, updates[j].State)
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, n)
+	ds := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		ds = ds[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				ds = append(ds, dist[i][j])
+			}
+		}
+		sort.Float64s(ds)
+		sum := 0.0
+		for _, d := range ds[:neighbors] {
+			sum += d
+		}
+		scores[i] = scored{idx: i, score: sum}
+	}
+	// Ties break on update order, which the caller fixes deterministically.
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
+	selected := make([]Update, 0, m)
+	for _, sc := range scores[:m] {
+		selected = append(selected, updates[sc.idx])
+	}
+	return Aggregate(global, selected)
+}
+
+// stateDistance is the mean squared elementwise difference over the
+// prefix block two states share, summed across tensors and normalised by
+// the shared element count. Every pool member covers the smallest
+// prefix, so two updates always share elements; a degenerate empty
+// intersection scores 0.
+func stateDistance(a, b nn.State) float64 {
+	var sum float64
+	var count int64
+	// Iterate in sorted name order: the sum is floating-point, so map
+	// iteration order would leak into the low bits and break the
+	// serial-vs-parallel bit-identity bar.
+	for _, name := range a.Names() {
+		av := a[name]
+		bv, ok := b[name]
+		if !ok {
+			continue
+		}
+		small, big := av, bv
+		if !tensor.PrefixFits(small, big) {
+			small, big = bv, av
+			if !tensor.PrefixFits(small, big) {
+				continue
+			}
+		}
+		bs := big.Strides()
+		var walk func(offS, offB int, shape, stridesS, stridesB []int)
+		walk = func(offS, offB int, shape, stridesS, stridesB []int) {
+			if len(shape) == 0 {
+				d := small.Data[offS] - big.Data[offB]
+				sum += d * d
+				count++
+				return
+			}
+			for i := 0; i < shape[0]; i++ {
+				walk(offS+i*stridesS[0], offB+i*stridesB[0], shape[1:], stridesS[1:], stridesB[1:])
+			}
+		}
+		walk(0, 0, small.Shape, small.Strides(), bs)
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Clipper bounds each update's influence before aggregation: an update
+// whose delta against the dispatched reference exceeds Tau in L2 norm is
+// scaled down onto the Tau-ball. Applied per update at record time (the
+// server owns the reference state), composable with any Policy.
+type Clipper struct {
+	// Tau is the L2 norm bound on the update delta.
+	Tau float64
+}
+
+// Clip returns the clipped state and whether clipping occurred. ref is
+// the dispatched reference at the update's own width; tensors ref does
+// not cover pass through unclipped (unreachable under the pool
+// invariant).
+func (c Clipper) Clip(ref, upd nn.State) (nn.State, bool) {
+	var sq float64
+	// Sorted name order keeps the floating-point norm independent of map
+	// iteration order (see stateDistance).
+	for _, name := range upd.Names() {
+		uv := upd[name]
+		rv, ok := ref[name]
+		if !ok || !tensor.PrefixFits(uv, rv) {
+			continue
+		}
+		r := tensor.ExtractPrefix(rv, uv.Shape)
+		for i, x := range uv.Data {
+			d := x - r.Data[i]
+			sq += d * d
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= c.Tau || norm == 0 {
+		return upd, false
+	}
+	scale := c.Tau / norm
+	out := make(nn.State, len(upd))
+	for name, uv := range upd {
+		rv, ok := ref[name]
+		if !ok || !tensor.PrefixFits(uv, rv) {
+			out[name] = uv.Clone()
+			continue
+		}
+		r := tensor.ExtractPrefix(rv, uv.Shape)
+		for i, x := range uv.Data {
+			r.Data[i] += scale * (x - r.Data[i])
+		}
+		out[name] = r
+	}
+	return out, true
+}
+
+// ParsePolicy builds an aggregation policy (and optional record-time
+// clipper) from a compact spec string:
+//
+//	"" | "mean"              — the paper's weighted prefix mean
+//	"trim" | "trim:frac=0.2" — coordinate-wise trimmed mean
+//	"krum" | "krum:frac=0.2,m=2"
+//	"clip" | "clip:tau=5"    — norm clipping over the mean
+//	"clip:tau=5+trim:frac=0.2" — clipping composed with any policy
+//
+// Clipping is a per-update transform, so it composes with every policy;
+// at most one non-clip policy may appear.
+func ParsePolicy(spec string) (Policy, *Clipper, error) {
+	var pol Policy
+	var clip *Clipper
+	for _, part := range strings.Split(spec, "+") {
+		part = strings.TrimSpace(part)
+		name, args, _ := strings.Cut(part, ":")
+		params, err := parsePolicyArgs(part, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		get := func(key string, def float64) float64 {
+			if v, ok := params[key]; ok {
+				delete(params, key)
+				return v
+			}
+			return def
+		}
+		var p Policy
+		switch name {
+		case "", "mean":
+			p = Mean{}
+		case "trim":
+			p = TrimmedMean{Frac: get("frac", 0.2)}
+		case "krum":
+			p = Krum{Frac: get("frac", 0.2), M: int(get("m", 1))}
+		case "clip":
+			if clip != nil {
+				return nil, nil, fmt.Errorf("agg: duplicate clip in policy %q", spec)
+			}
+			clip = &Clipper{Tau: get("tau", 5)}
+			if clip.Tau <= 0 {
+				return nil, nil, fmt.Errorf("agg: clip tau must be positive")
+			}
+		default:
+			return nil, nil, fmt.Errorf("agg: unknown aggregation policy %q (want mean|trim|krum|clip)", name)
+		}
+		for k := range params {
+			return nil, nil, fmt.Errorf("agg: unknown param %q for policy %q", k, name)
+		}
+		if p != nil {
+			if pol != nil {
+				return nil, nil, fmt.Errorf("agg: policy %q combines two aggregation rules (only clip composes)", spec)
+			}
+			pol = p
+		}
+	}
+	if pol == nil {
+		pol = Mean{}
+	}
+	switch v := pol.(type) {
+	case TrimmedMean:
+		if v.Frac < 0 || v.Frac >= 0.5 {
+			return nil, nil, fmt.Errorf("agg: trim fraction %v outside [0, 0.5)", v.Frac)
+		}
+	case Krum:
+		if v.Frac < 0 || v.Frac >= 0.5 {
+			return nil, nil, fmt.Errorf("agg: krum fraction %v outside [0, 0.5)", v.Frac)
+		}
+		if v.M < 1 {
+			return nil, nil, fmt.Errorf("agg: krum m must be >= 1")
+		}
+	}
+	return pol, clip, nil
+}
+
+// parsePolicyArgs parses "k=v,..." into a float map.
+func parsePolicyArgs(part, args string) (map[string]float64, error) {
+	params := map[string]float64{}
+	if args == "" {
+		return params, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("agg: policy param %q in %q is not key=value", kv, part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("agg: policy param %q: %w", kv, err)
+		}
+		params[strings.TrimSpace(k)] = f
+	}
+	return params, nil
+}

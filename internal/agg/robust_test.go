@@ -1,0 +1,300 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"adaptivefl/internal/nn"
+	"adaptivefl/internal/tensor"
+)
+
+// vec builds a width-len(vals) 1-D single-tensor update.
+func vec(weight float64, vals ...float64) Update {
+	return Update{State: nn.State{"w": tensor.FromSlice(vals, len(vals))}, Weight: weight}
+}
+
+func scalarGlobal() nn.State { return nn.State{"w": tensor.FromSlice([]float64{0}, 1)} }
+
+func TestTrimmedMeanDiscardsOutliers(t *testing.T) {
+	// Five scalar updates, two of them wild; frac=0.2 trims one per side,
+	// so both outliers go and the honest middle survives untouched.
+	updates := []Update{vec(1, 1), vec(1, 2), vec(1, 3), vec(7, 1e6), vec(9, -1e6)}
+	out, err := TrimmedMean{Frac: 0.2}.Aggregate(scalarGlobal(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["w"].Data[0]; got != 2 {
+		t.Fatalf("trimmed mean = %v, want 2 (outliers and their weights ignored)", got)
+	}
+}
+
+func TestTrimmedMeanFallbackAtPrefixBoundary(t *testing.T) {
+	// Width-2 global; only one update reaches element 1. With n=5 and
+	// frac=0.2 the trim count is 1, so element 0 (coverage 5) trims while
+	// element 1 (coverage 1 < 2t+1) falls back to the weighted mean —
+	// i.e. the lone covering value, exactly what Aggregate computes.
+	global := nn.State{"w": tensor.FromSlice([]float64{0, 0}, 2)}
+	updates := []Update{
+		vec(1, 10, 100),
+		vec(1, 1), vec(1, 2), vec(1, 3), vec(1, 4),
+	}
+	out, err := TrimmedMean{Frac: 0.2}.Aggregate(global, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := out["w"]
+	// Element 0: sorted {1,2,3,4,10}, trim one per side → mean(2,3,4)=3.
+	if w.Data[0] != 3 {
+		t.Fatalf("element 0 = %v, want 3", w.Data[0])
+	}
+	if w.Data[1] != 100 {
+		t.Fatalf("prefix-boundary element = %v, want the weighted-mean fallback 100", w.Data[1])
+	}
+}
+
+func TestTrimmedMeanAllAdversarial(t *testing.T) {
+	// A unanimous adversarial set defeats any order statistic; the policy
+	// must still terminate with a finite, deterministic result (the
+	// adversarial consensus), never an error or NaN.
+	updates := []Update{vec(1, 50), vec(1, 50), vec(1, 50)}
+	out, err := TrimmedMean{Frac: 0.3}.Aggregate(scalarGlobal(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["w"].Data[0]; got != 50 {
+		t.Fatalf("unanimous set = %v, want 50", got)
+	}
+}
+
+func TestPoliciesSingleUpdateMatchMean(t *testing.T) {
+	// One honest update: every policy degenerates to the weighted mean.
+	// Trim has nothing to cut, Krum has too few candidates to score.
+	global := nn.State{"w": tensor.FromSlice([]float64{0, 0, 0}, 3)}
+	updates := []Update{vec(4, 7, 8, 9)}
+	want, err := Aggregate(global, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{TrimmedMean{Frac: 0.2}, Krum{Frac: 0.2, M: 1}, Mean{}} {
+		out, err := p.Aggregate(global, updates)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for i, x := range out["w"].Data {
+			if x != want["w"].Data[i] {
+				t.Fatalf("%s diverged from the weighted mean on a single update: %v vs %v",
+					p.Name(), out["w"].Data, want["w"].Data)
+			}
+		}
+	}
+}
+
+func TestKrumSelectsFromHonestCluster(t *testing.T) {
+	// Three honest updates cluster near 1, two attackers sit far out. With
+	// frac=0.4 (f=2, one scored neighbor) the attackers' nearest peers are
+	// still distant, so classic Krum (m=1) must pick an honest update.
+	// Honest values are exact in binary so their scores tie exactly.
+	updates := []Update{vec(1, 1.0), vec(1, 1.25), vec(1, 0.75), vec(1, -9), vec(1, 11)}
+	out, err := Krum{Frac: 0.4, M: 1}.Aggregate(scalarGlobal(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three honest updates tie on score; the stable sort breaks the
+	// tie on update order, so the deterministic winner is the first.
+	if got := out["w"].Data[0]; got != 1.0 {
+		t.Fatalf("krum picked %v, want the first honest update 1.0", got)
+	}
+}
+
+func TestMultiKrumAveragesSelected(t *testing.T) {
+	updates := []Update{vec(1, 1.0), vec(1, 1.25), vec(1, 0.75), vec(1, -9), vec(1, 11)}
+	out, err := Krum{Frac: 0.4, M: 2}.Aggregate(scalarGlobal(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The honest scores tie exactly, so the stable order selects the first
+	// two honest updates; equal weights average them.
+	want := (1.0 + 1.25) / 2
+	if got := out["w"].Data[0]; got != want {
+		t.Fatalf("multi-krum = %v, want %v", got, want)
+	}
+}
+
+func TestKrumAllAdversarialStillTerminates(t *testing.T) {
+	// Every candidate hostile: Krum picks one of them — garbage in,
+	// garbage out — but deterministically and without error.
+	updates := []Update{vec(1, 100), vec(1, 101), vec(1, -100)}
+	out, err := Krum{Frac: 0.3, M: 1}.Aggregate(scalarGlobal(), updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out["w"].Data[0]
+	if got != 100 && got != 101 && got != -100 {
+		t.Fatalf("krum output %v is not one of the candidates", got)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("krum output %v is non-finite", got)
+	}
+}
+
+func TestKrumHeterogeneousWidths(t *testing.T) {
+	// Mixed submodel widths: distances are normalised by shared element
+	// count, so a narrow honest update is comparable with a wide one, and
+	// the wide attacker still scores worst.
+	global := nn.State{"w": tensor.FromSlice([]float64{0, 0, 0, 0}, 4)}
+	updates := []Update{
+		vec(1, 1, 1, 1, 1), // honest, full width
+		vec(1, 1, 1),       // honest, narrow
+		vec(1, 1, 1),       // honest, narrow
+		vec(1, 9, 9, 9, 9), // attacker, full width
+	}
+	out, err := Krum{Frac: 0.25, M: 1}.Aggregate(global, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range out["w"].Data {
+		if x != 1 {
+			t.Fatalf("element %d = %v, want the honest value 1", i, x)
+		}
+	}
+}
+
+func TestClipperScalesOntoBall(t *testing.T) {
+	ref := nn.State{"w": tensor.FromSlice([]float64{0, 0}, 2)}
+	upd := nn.State{"w": tensor.FromSlice([]float64{3, 4}, 2)} // delta norm 5
+	clipped, did := Clipper{Tau: 2.5}.Clip(ref, upd)
+	if !did {
+		t.Fatal("norm-5 delta against tau=2.5 must clip")
+	}
+	w := clipped["w"]
+	if w.Data[0] != 1.5 || w.Data[1] != 2 {
+		t.Fatalf("clipped = %v, want [1.5 2] (delta halved)", w.Data)
+	}
+	if upd["w"].Data[0] != 3 {
+		t.Fatal("Clip mutated the input update")
+	}
+}
+
+func TestClipperInsideBallPassesThrough(t *testing.T) {
+	ref := nn.State{"w": tensor.FromSlice([]float64{0, 0}, 2)}
+	upd := nn.State{"w": tensor.FromSlice([]float64{3, 4}, 2)}
+	if _, did := (Clipper{Tau: 5}).Clip(ref, upd); did {
+		t.Fatal("norm-5 delta against tau=5 must pass unclipped")
+	}
+	// A zero delta (norm 0) must never divide by zero.
+	if _, did := (Clipper{Tau: 1}).Clip(ref, ref); did {
+		t.Fatal("zero delta clipped")
+	}
+}
+
+func TestClipperNarrowUpdate(t *testing.T) {
+	// The reference is sliced to the update's own width before the norm is
+	// taken, so a pruned upload clips against the state it was trained on.
+	ref := nn.State{"w": tensor.FromSlice([]float64{1, 50}, 2)}
+	upd := nn.State{"w": tensor.FromSlice([]float64{4}, 1)} // delta 3 vs ref prefix
+	clipped, did := Clipper{Tau: 1}.Clip(ref, upd)
+	if !did {
+		t.Fatal("norm-3 delta against tau=1 must clip")
+	}
+	if got := clipped["w"].Data[0]; got != 2 {
+		t.Fatalf("clipped = %v, want 2 (1 + 3/3)", got)
+	}
+	if len(clipped["w"].Data) != 1 {
+		t.Fatal("clip changed the update's width")
+	}
+}
+
+func TestPoliciesRejectInvalidUpdates(t *testing.T) {
+	global := scalarGlobal()
+	bad := []struct {
+		name    string
+		updates []Update
+	}{
+		{"non-finite value", []Update{vec(1, math.NaN())}},
+		{"zero weight", []Update{vec(0, 1)}},
+		{"oversized shape", []Update{{State: nn.State{"w": tensor.FromSlice([]float64{1, 2}, 2)}, Weight: 1}}},
+		{"unknown parameter", []Update{{State: nn.State{"x": tensor.FromSlice([]float64{1}, 1)}, Weight: 1}}},
+	}
+	for _, p := range []Policy{Mean{}, TrimmedMean{Frac: 0.2}, Krum{Frac: 0.2, M: 1}} {
+		for _, tc := range bad {
+			if _, err := p.Aggregate(global, tc.updates); err == nil {
+				t.Fatalf("%s accepted %s", p.Name(), tc.name)
+			}
+		}
+	}
+	if _, err := (TrimmedMean{Frac: 0.5}).Aggregate(global, []Update{vec(1, 1)}); err == nil {
+		t.Fatal("trim frac=0.5 accepted")
+	}
+	if _, err := (Krum{Frac: -0.1, M: 1}).Aggregate(global, []Update{vec(1, 1)}); err == nil {
+		t.Fatal("krum frac=-0.1 accepted")
+	}
+}
+
+func TestParsePolicyGrammar(t *testing.T) {
+	cases := []struct {
+		spec     string
+		wantPol  string
+		wantClip float64 // 0 = no clipper
+	}{
+		{"", "mean", 0},
+		{"mean", "mean", 0},
+		{"trim", "trim:frac=0.2", 0},
+		{"trim:frac=0.3", "trim:frac=0.3", 0},
+		{"krum", "krum:frac=0.2,m=1", 0},
+		{"krum:frac=0.1,m=3", "krum:frac=0.1,m=3", 0},
+		{"clip", "mean", 5},
+		{"clip:tau=2", "mean", 2},
+		{"clip:tau=2+trim:frac=0.1", "trim:frac=0.1", 2},
+		{"trim:frac=0.1+clip:tau=2", "trim:frac=0.1", 2},
+	}
+	for _, tc := range cases {
+		pol, clip, err := ParsePolicy(tc.spec)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", tc.spec, err)
+		}
+		if pol.Name() != tc.wantPol {
+			t.Fatalf("ParsePolicy(%q) policy = %q, want %q", tc.spec, pol.Name(), tc.wantPol)
+		}
+		switch {
+		case tc.wantClip == 0 && clip != nil:
+			t.Fatalf("ParsePolicy(%q) grew an unexpected clipper", tc.spec)
+		case tc.wantClip != 0 && (clip == nil || clip.Tau != tc.wantClip):
+			t.Fatalf("ParsePolicy(%q) clip = %+v, want tau=%v", tc.spec, clip, tc.wantClip)
+		}
+	}
+}
+
+func TestParsePolicyRoundTripsNames(t *testing.T) {
+	// Policy.Name() is itself valid spec syntax, so ledgers and flags can
+	// echo a policy back into ParsePolicy unchanged.
+	for _, p := range []Policy{Mean{}, TrimmedMean{Frac: 0.25}, Krum{Frac: 0.3, M: 2}} {
+		back, _, err := ParsePolicy(p.Name())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.Name(), err)
+		}
+		if back.Name() != p.Name() {
+			t.Fatalf("round trip %q -> %q", p.Name(), back.Name())
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"trim+krum",        // two aggregation rules
+		"clip+clip",        // duplicate clipper
+		"trim:frac=0.6",    // out of range
+		"krum:frac=0.5",    // out of range
+		"krum:m=0",         // m < 1
+		"clip:tau=-1",      // non-positive tau
+		"clip:tau=0",       // non-positive tau
+		"trim:frac",        // not key=value
+		"trim:frac=x",      // not a float
+		"trim:zap=1",       // unknown param
+		"krum:frac=0.2;m2", // stray separator
+	} {
+		if _, _, err := ParsePolicy(spec); err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted", spec)
+		}
+	}
+}

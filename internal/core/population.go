@@ -103,6 +103,12 @@ type PopulationSpec struct {
 	Classes int
 	// Dataset names the synthetic data family ("widar", "cifar10", …).
 	Dataset string
+	// Adversary describes the adversarial sub-population (zero = all
+	// honest). The grammar expresses single-behavior specs and the default
+	// mix via adv=/advfrac=/advk=; richer mixes go through Config.Adversary
+	// directly. Its Seed is not set by the parser — consumers copy the
+	// population Seed in (cf. popServer).
+	Adversary AdversarySpec
 	// Seed drives every per-client derivation. Not part of the spec
 	// string; callers set it the way ParseTrace takes a seed argument.
 	Seed int64
@@ -137,6 +143,8 @@ func ParsePopulation(spec string) (PopulationSpec, error) {
 	if args == "" {
 		return s, nil
 	}
+	advName := ""
+	advFrac, advK := -1.0, -1.0
 	for _, kv := range strings.Split(args, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
@@ -148,6 +156,13 @@ func ParsePopulation(spec string) (PopulationSpec, error) {
 				return PopulationSpec{}, fmt.Errorf("core: population param %q needs a dataset name", kv)
 			}
 			s.Dataset = v
+			continue
+		}
+		if k == "adv" {
+			if v == "" {
+				return PopulationSpec{}, fmt.Errorf("core: population param %q needs a behavior name", kv)
+			}
+			advName = v
 			continue
 		}
 		f, err := strconv.ParseFloat(v, 64)
@@ -178,9 +193,37 @@ func ParsePopulation(spec string) (PopulationSpec, error) {
 			s.Samples = int(f)
 		case "classes":
 			s.Classes = int(f)
+		case "advfrac":
+			advFrac = f
+		case "advk":
+			advK = f
 		default:
 			return PopulationSpec{}, fmt.Errorf("core: unknown population param %q", k)
 		}
+	}
+	if advName == "" && (advFrac >= 0 || advK >= 0) {
+		return PopulationSpec{}, fmt.Errorf("core: population params advfrac/advk need adv=<behavior>")
+	}
+	if advName != "" {
+		// Delegate to the adversary grammar so validation and defaults stay
+		// in one place.
+		ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+		advSpec := advName
+		var ap []string
+		if advFrac >= 0 {
+			ap = append(ap, "frac="+ff(advFrac))
+		}
+		if advK >= 0 {
+			ap = append(ap, "k="+ff(advK))
+		}
+		if len(ap) > 0 {
+			advSpec += ":" + strings.Join(ap, ",")
+		}
+		a, err := ParseAdversary(advSpec)
+		if err != nil {
+			return PopulationSpec{}, err
+		}
+		s.Adversary = a
 	}
 	if err := s.normalise(); err != nil {
 		return PopulationSpec{}, err
@@ -224,6 +267,21 @@ func (s PopulationSpec) String() string {
 		"slow=" + ff(s.SlowFactor), "slowprob=" + ff(s.SlowProb),
 		"samples=" + strconv.Itoa(s.Samples), "classes=" + strconv.Itoa(s.Classes),
 		"data=" + s.Dataset,
+	}
+	if a := s.Adversary; a.Enabled() {
+		// Single-behavior specs and the default mix round-trip; bespoke
+		// mix weights collapse to the default mix (grammar limitation).
+		name := "mix"
+		single, nonzero := -1, 0
+		for i, w := range a.Weights {
+			if w > 0 {
+				single, nonzero = i, nonzero+1
+			}
+		}
+		if nonzero == 1 && a.Weights[single] == 1 {
+			name = behaviorNames[single]
+		}
+		parts = append(parts, "adv="+name, "advfrac="+ff(a.Frac), "advk="+ff(a.K))
 	}
 	return "mix:" + strings.Join(parts, ",")
 }

@@ -45,6 +45,18 @@ type Config struct {
 	// deployment with that codec would see, and the round ledger carries
 	// real encoded byte counts. Nil keeps the exact float64 path.
 	Codec wire.Codec
+	// Agg selects the aggregation policy (agg.ParsePolicy grammar:
+	// mean|trim|krum|clip, clip composable via "+"). Empty keeps the
+	// paper's weighted prefix mean on the exact legacy path. Robust
+	// policies tolerate Byzantine updates at commit time; clip bounds each
+	// update's influence at record time and ledgers it as Clipped.
+	Agg string
+	// Adversary injects deterministic per-client adversarial behaviors
+	// into the in-process training path (ParseAdversary grammar; the zero
+	// spec is fully honest). Networked runs configure their agents
+	// instead (fednet.Cluster.SetAdversary) with the same spec and seed,
+	// so both paths corrupt the same clients identically.
+	Adversary AdversarySpec
 	// EstimateUpBytes, with a Codec configured, lets flight plans forecast
 	// the uplink size from the codec's wire.SizeEstimator instead of
 	// waiting for the trained payload's actual encoded length. An
@@ -78,6 +90,11 @@ type TrainResult struct {
 	// raw in-memory transfers). Networked trainers report the codec they
 	// actually negotiated per agent, so the ledger shows real encodings.
 	CodecTag string
+	// Rejected marks an upload that arrived but whose payload was
+	// undecodable or invalid (corrupt codec bytes, non-finite values):
+	// the bytes crossed the wire but the state must not be aggregated.
+	// State is nil when set.
+	Rejected bool
 }
 
 // Trainer executes Steps 4-5 of Algorithm 1 for one dispatch: on-device
@@ -115,6 +132,17 @@ type Dispatch struct {
 	// Dropped marks a dispatch whose client went offline before the upload
 	// completed: nothing came back at all.
 	Dropped bool
+	// Rejected marks an upload that arrived but was refused at the door:
+	// the payload failed to decode (corrupt codec bytes), carried
+	// non-finite values, or claimed a non-positive sample weight. The
+	// uplink bytes crossed the wire (they are ledgered) but nothing was
+	// aggregated — the hardened-decode analogue of Late waste.
+	Rejected bool
+	// Clipped marks a merged update whose delta exceeded the norm-clipping
+	// policy's bound and was scaled down before aggregation (Config.Agg
+	// "clip"). The update still did useful work — it rides with Merged the
+	// way LateReused rides with Late.
+	Clipped bool
 	// TrainSkipped marks a dispatch whose local training never ran because
 	// its result could not be observed (the flight's dropout was already
 	// sealed when it was priced — lazy execution). The eager engine used to
@@ -158,6 +186,12 @@ type RoundStats struct {
 	// LateReused counts late uploads banked and merged into this
 	// aggregation instead of being discarded (see Dispatch.LateReused).
 	LateReused int
+	// Rejected counts uploads refused at the door (see Dispatch.Rejected):
+	// bytes ledgered, parameters not.
+	Rejected int
+	// Clipped counts merged updates whose delta was norm-clipped before
+	// aggregation (see Dispatch.Clipped).
+	Clipped int
 }
 
 // Add appends d to the ledger and folds it into the round totals. Failed
@@ -186,8 +220,17 @@ func (st *RoundStats) Add(d Dispatch) {
 		// would turn the pricing-error audit into noise.
 		st.ReturnedBytesEst += d.GotBytesEst
 	}
+	if d.Rejected {
+		// The payload crossed the wire (bytes counted above) but was
+		// refused: no parameters did useful work.
+		st.Rejected++
+		return
+	}
 	if d.Late && !d.LateReused {
 		return
+	}
+	if d.Clipped {
+		st.Clipped++
 	}
 	st.ReturnedParams += d.Got.Size
 }
@@ -216,6 +259,17 @@ type Server struct {
 	// exec bounds this server's concurrent local trainings; Round and (by
 	// default) the event-driven scheduler both execute through it.
 	exec *Executor
+
+	// aggPolicy/clip are the parsed Config.Agg policy (nil = the exact
+	// legacy weighted-mean path with no per-update clipping).
+	aggPolicy agg.Policy
+	clip      *agg.Clipper
+	// advPrev caches each adversarial stale-replay client's previous
+	// trained state (in-process path; fednet agents keep their own).
+	// Clients train one flight at a time, so per-client order is
+	// deterministic; the mutex only guards cross-client map access.
+	advMu   sync.Mutex
+	advPrev map[int]nn.State
 }
 
 // NewServer validates the configuration, builds the model pool, the RL
@@ -265,6 +319,14 @@ func NewServerPopulation(cfg Config, pop Population) (*Server, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		inflight: map[int64]*Flight{},
 		exec:     NewExecutor(cfg.Parallelism),
+		advPrev:  map[int]nn.State{},
+	}
+	if cfg.Agg != "" {
+		pol, clip, err := agg.ParsePolicy(cfg.Agg)
+		if err != nil {
+			return nil, err
+		}
+		s.aggPolicy, s.clip = pol, clip
 	}
 	if cfg.Observer.Enabled() {
 		s.exec.SetObserver(cfg.Observer)
@@ -375,7 +437,10 @@ type localResult struct {
 	// skipped marks a result finalised from the flight's plan without
 	// training (the dropout was sealed before training could be observed).
 	skipped bool
-	err     error
+	// rejected marks an upload whose payload failed to decode: the bytes
+	// are ledgered (gotBytes) but state is nil and must not aggregate.
+	rejected bool
+	err      error
 }
 
 // Slot is one planned dispatch: the selected client, the pool member to
@@ -475,7 +540,8 @@ func (f *Flight) Dispatch() Dispatch {
 	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: res.got,
 		Failed: res.failed, Codec: res.codec,
 		SentBytes: res.sentBytes, GotBytes: res.gotBytes,
-		GotBytesEst: res.gotBytesEst, TrainSkipped: res.skipped}
+		GotBytesEst: res.gotBytesEst, TrainSkipped: res.skipped,
+		Rejected: res.rejected}
 }
 
 // PlanSlots runs Algorithm 1's selection phase for up to k dispatches over
@@ -761,6 +827,14 @@ const (
 	// and merged into a later aggregation under a staleness discount
 	// (FedAsync-style reuse) instead of being discarded.
 	LateReused
+	// Rejected: the upload arrived but its payload was refused (corrupt
+	// codec bytes, non-finite values, invalid weight). Derived — callers
+	// never pass it to Record; Record downgrades a Merged/LateReused
+	// intent itself when the payload fails validation.
+	Rejected
+	// Clipped: the upload merged, but its delta was norm-clipped first
+	// (Config.Agg "clip"). Derived the same way as Rejected.
+	Clipped
 )
 
 // Record finalises an executed flight's outcome: it applies the RL table
@@ -789,6 +863,23 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 		s.tables.RecordDispatch(f.Slot.Sent, s.pool.Smallest(), f.Slot.Client)
 		return d, nil
 	}
+	// Rejection: the upload arrived but its payload must not aggregate —
+	// the trainer flagged a decode failure, or (for outcomes that would
+	// merge) record-time validation finds non-finite values or a
+	// non-positive sample weight. Like a failure, the tables record the
+	// smallest member so the selector learns to avoid the client.
+	rejected := d.Rejected
+	if !rejected && (oc == Merged || oc == LateReused) {
+		rejected = f.res.samples <= 0 || !StateFinite(f.res.state)
+	}
+	if rejected {
+		d.Rejected = true
+		if oc == Late || oc == LateReused {
+			d.Late = true
+		}
+		s.tables.RecordDispatch(f.Slot.Sent, s.pool.Smallest(), f.Slot.Client)
+		return d, nil
+	}
 	// The upload arrived (possibly late): the returned member is a
 	// truthful capacity observation either way.
 	s.tables.RecordDispatch(f.Slot.Sent, d.Got, f.Slot.Client)
@@ -802,10 +893,26 @@ func (s *Server) Record(f *Flight, oc Outcome) (Dispatch, *agg.Update) {
 	// Merged (and late-reused) outcomes consume the trained state: the
 	// caller must have joined the execution (Wait) before recording, and
 	// applies any staleness discount to the update's weight.
-	return d, &agg.Update{State: f.res.state, Weight: float64(f.res.samples)}
+	state := f.res.state
+	if s.clip != nil && oc == Merged {
+		// Record-time norm clipping against the dispatched reference at
+		// the update's own width. Fresh merges only: late-reused updates
+		// are already staleness-discounted, and keeping Clipped ⊆ Merged
+		// keeps the ledger census one-class-per-dispatch. An extraction
+		// failure cannot happen for a pool member; staying total keeps the
+		// hot path panic-free.
+		if ref, err := s.pool.ExtractState(f.global, d.Got); err == nil {
+			if clipped, did := s.clip.Clip(ref, state); did {
+				state, d.Clipped = clipped, true
+			}
+		}
+	}
+	return d, &agg.Update{State: state, Weight: float64(f.res.samples)}
 }
 
-// SpanOutcome maps a recorded dispatch to its span outcome label.
+// SpanOutcome maps a recorded dispatch to its span outcome label. The
+// precedence mirrors Record: dropped > failed > rejected > late-reused >
+// late > clipped > merged — every dispatch wears exactly one label.
 func SpanOutcome(oc Outcome, d Dispatch) string {
 	if d.Failed || d.Dropped {
 		if d.Dropped {
@@ -813,11 +920,17 @@ func SpanOutcome(oc Outcome, d Dispatch) string {
 		}
 		return obs.OutcomeFailed
 	}
+	if d.Rejected {
+		return obs.OutcomeRejected
+	}
 	switch oc {
 	case Late:
 		return obs.OutcomeLate
 	case LateReused:
 		return obs.OutcomeLateReused
+	}
+	if d.Clipped {
+		return obs.OutcomeClipped
 	}
 	return obs.OutcomeMerged
 }
@@ -858,7 +971,13 @@ func (s *Server) ApplyUpdates(updates []agg.Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
-	next, err := agg.Aggregate(s.global, updates)
+	var next nn.State
+	var err error
+	if s.aggPolicy != nil {
+		next, err = s.aggPolicy.Aggregate(s.global, updates)
+	} else {
+		next, err = agg.Aggregate(s.global, updates)
+	}
 	if err != nil {
 		return err
 	}
@@ -948,6 +1067,14 @@ func (s *Server) Round() error {
 		for _, d := range stats.Dispatches {
 			if d.Failed || d.Dropped {
 				sp.Failed++
+				continue
+			}
+			if d.Rejected {
+				sp.Rejected++
+				continue
+			}
+			if d.Clipped {
+				sp.Clipped++
 			}
 		}
 		s.cfg.Observer.Span(sp)
@@ -1001,7 +1128,8 @@ func (s *Server) trainSlot(trainer Trainer, f *Flight) localResult {
 		return localResult{failed: true, got: sent, sentBytes: res.SentBytes, codec: res.CodecTag}
 	}
 	return localResult{state: res.State, samples: res.Samples, got: res.Got,
-		sentBytes: res.SentBytes, gotBytes: res.GotBytes, codec: res.CodecTag}
+		sentBytes: res.SentBytes, gotBytes: res.GotBytes, codec: res.CodecTag,
+		rejected: res.Rejected}
 }
 
 // trainPlanned executes a planned flight: the capacity draw already
@@ -1024,13 +1152,13 @@ func (s *Server) trainPlanned(lt localTrainer, f *Flight) localResult {
 			return localResult{err: err}
 		}
 	}
-	state, gotBytes, samples, err := lt.trainGot(f.Slot.Client, pl.Got, sentState, f.Slot.Seed)
+	state, gotBytes, samples, rejected, err := lt.trainGot(f.Slot.Client, pl.Got, sentState, f.Slot.Seed)
 	if err != nil {
 		return localResult{err: err}
 	}
 	return localResult{state: state, samples: samples, got: pl.Got,
 		sentBytes: pl.SentBytes, gotBytes: gotBytes, gotBytesEst: pl.UpBytesEst,
-		codec: pl.Codec}
+		codec: pl.Codec, rejected: rejected}
 }
 
 // preDispatch is one pre-encoded dispatch: the wire size and the decoded
@@ -1094,29 +1222,64 @@ func (lt localTrainer) preFor(sub prune.Submodel, global nn.State) (preDispatch,
 	return d, nil
 }
 
+// applyBehavior transforms a client's trained state according to its
+// adversarial behavior. Corrupt is handled at the wire layer (trainGot),
+// not here. The stale-replay cache is keyed per client under advMu; a
+// client trains at most one flight at a time, so the cache order — and
+// with it the replayed state — is deterministic.
+func (s *Server) applyBehavior(clientID int, b Behavior, trained, sent nn.State) nn.State {
+	if b == StaleReplay {
+		s.advMu.Lock()
+		prev := s.advPrev[clientID]
+		s.advPrev[clientID] = trained.Clone()
+		s.advMu.Unlock()
+		if prev != nil {
+			return prev
+		}
+		return trained
+	}
+	return s.cfg.Adversary.Mutate(b, trained, sent)
+}
+
 // trainGot runs local training of the resolved pool member and, with a
 // codec configured, round-trips the upload through the wire encoding.
-func (lt localTrainer) trainGot(clientID int, got prune.Submodel, sentState nn.State, seed int64) (nn.State, int64, int, error) {
+// Adversarial behaviors inject here — after training, before the wire —
+// exactly where a compromised device would tamper. The fourth return
+// reports a rejected upload: the payload arrived (bytes counted) but
+// failed to decode, so the server must ledger a rejection rather than
+// fail the flight.
+func (lt localTrainer) trainGot(clientID int, got prune.Submodel, sentState nn.State, seed int64) (nn.State, int64, int, bool, error) {
 	client := lt.s.pop.Client(clientID)
 	rng := rand.New(rand.NewSource(seed))
 	trained, err := TrainLocal(lt.s.cfg.Model, got.Widths, sentState, client.Data, lt.s.cfg.Train, rng)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, false, err
 	}
+	behavior := lt.s.cfg.Adversary.BehaviorOf(clientID)
+	trained = lt.s.applyBehavior(clientID, behavior, trained, sentState)
 	var gotBytes int64
 	if c := lt.s.cfg.Codec; c != nil {
 		// The uplink reference is the decoded dispatched state — the same
 		// tensor a device agent would diff against.
 		enc, err := c.Encode(trained, sentState)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, false, err
+		}
+		if behavior == Corrupt {
+			lt.s.cfg.Adversary.CorruptPayload(clientID, enc)
 		}
 		gotBytes = int64(len(enc))
 		if trained, err = c.Decode(enc, sentState); err != nil {
-			return nil, 0, 0, err
+			// A garbage payload still crossed the uplink: the bytes are
+			// real, the update is not. Graceful rejection, not a run error.
+			return nil, gotBytes, client.Data.Len(), true, nil
 		}
+	} else if behavior == Corrupt {
+		// No wire encoding to flip bits in — poison the raw state instead;
+		// the record-time finiteness guard turns it into the same rejection.
+		trained = poisonState(trained)
 	}
-	return trained, gotBytes, client.Data.Len(), nil
+	return trained, gotBytes, client.Data.Len(), false, nil
 }
 
 // TrainDispatch implements Trainer. With a codec configured, the dispatch
@@ -1158,12 +1321,12 @@ func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentStat
 	if !ok {
 		return TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: tag}, nil
 	}
-	state, gotBytes, samples, err := lt.trainGot(clientID, got, sentState, seed)
+	state, gotBytes, samples, rejected, err := lt.trainGot(clientID, got, sentState, seed)
 	if err != nil {
 		return TrainResult{}, err
 	}
 	return TrainResult{State: state, Samples: samples, Got: got,
-		SentBytes: sentBytes, GotBytes: gotBytes, CodecTag: tag}, nil
+		SentBytes: sentBytes, GotBytes: gotBytes, CodecTag: tag, Rejected: rejected}, nil
 }
 
 // Run executes rounds and invokes cb (if non-nil) after each; cb returning

@@ -143,8 +143,11 @@ func popCost(sim sched.CostModel, pool *prune.Pool, spec core.PopulationSpec, ep
 }
 
 // popServer builds one server over pop with the scale's model and
-// training setup. seed differentiates edges.
-func popServer(mcfg models.Config, pop core.Population, sc Scale, k int, seed int64) (*core.Server, error) {
+// training setup. seed differentiates edges; adv is the spec's
+// adversarial sub-population with its seed already set (shards remap
+// client ids locally, so edges carry offset adversary seeds and draw
+// independent — but deterministic — attacker subsets).
+func popServer(mcfg models.Config, pop core.Population, sc Scale, k int, seed int64, adv core.AdversarySpec) (*core.Server, error) {
 	return core.NewServerPopulation(core.Config{
 		Model:           mcfg,
 		Pool:            prune.Config{P: 3},
@@ -154,6 +157,8 @@ func popServer(mcfg models.Config, pop core.Population, sc Scale, k int, seed in
 		Seed:            seed,
 		Parallelism:     sc.Parallelism,
 		Observer:        sc.Observer,
+		Agg:             sc.Agg,
+		Adversary:       adv,
 	}, pop)
 }
 
@@ -208,6 +213,8 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 	}
 	weak := func(c int) bool { return spec.ClassOf(c) == core.Weak }
 	baseTrace := sched.PopTrace{Spec: spec, SlowOnly: weak}
+	adv := spec.Adversary
+	adv.Seed = spec.Seed
 
 	res := &PopSimResult{Clients: spec.N, Edges: edges, Mix: spec.MixCounts(min(spec.N, 10_000))}
 	engCfg := func(k int) sched.Config {
@@ -215,7 +222,7 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 	}
 
 	if edges == 1 {
-		srv, err := popServer(mcfg, pop, sc, sc.K, sc.Seed+101)
+		srv, err := popServer(mcfg, pop, sc, sc.K, sc.Seed+101, adv)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +275,9 @@ func RunPopSim(w io.Writer, spec core.PopulationSpec, sc Scale, edges int, simSe
 		if err != nil {
 			return nil, err
 		}
-		srv, err := popServer(mcfg, shard, sc, kEdge, sc.Seed+101+1000*int64(i))
+		advEdge := adv
+		advEdge.Seed = adv.Seed + int64(i)
+		srv, err := popServer(mcfg, shard, sc, kEdge, sc.Seed+101+1000*int64(i), advEdge)
 		if err != nil {
 			return nil, err
 		}

@@ -34,6 +34,10 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 				return nil, err
 			}
 		}
+		trace, adv, err := sc.SplitAdversary()
+		if err != nil {
+			return nil, err
+		}
 		if sc.Trainer != nil {
 			// A real transport owns the wire encoding end to end; applying
 			// the codec in-process as well would encode twice.
@@ -58,11 +62,17 @@ func NewRunner(name string, fed *Federation, sc Scale) (baselines.Runner, error)
 			Codec:           codec,
 			EstimateUpBytes: sc.EstimateUp,
 			Observer:        sc.Observer,
+			Agg:             sc.Agg,
+			Adversary:       adv,
 		}, fed.Clients, label)
 		if err != nil || sc.Sched == "" {
 			return a, err
 		}
-		return schedRunner(a, fed, sc)
+		// The engine parses the trace itself — hand it the spec with the
+		// adversary part already stripped.
+		s := sc
+		s.Trace = trace
+		return schedRunner(a, fed, s)
 	}
 	adaptive := func(mode rl.Mode, greedy bool, p int, label string) (baselines.Runner, error) {
 		return adaptiveRL(mode, greedy, p, rl.Config{}, label)

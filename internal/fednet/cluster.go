@@ -101,6 +101,16 @@ func (cl *Cluster) SetWallLog(w *obs.JSONLWriter) {
 	}
 }
 
+// SetAdversary arms every agent with the adversarial spec: each agent
+// draws its own client's behavior from the spec's deterministic hash
+// streams, so the attacker set matches an in-process run with the same
+// (seed, spec) pair exactly.
+func (cl *Cluster) SetAdversary(spec core.AdversarySpec) {
+	for _, a := range cl.Agents {
+		a.Adversary = spec
+	}
+}
+
 // MetricsURL returns agent i's /metrics endpoint.
 func (cl *Cluster) MetricsURL(i int) string {
 	return strings.TrimSuffix(cl.URLs[i], "/train") + "/metrics"

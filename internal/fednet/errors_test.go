@@ -38,9 +38,10 @@ func dispatchTo(t *testing.T, url string) (core.TrainResult, error) {
 	return tr.TrainDispatch(0, l1, st, 1)
 }
 
-// TestTrainerRejectsMalformedUpload: an agent answering 200 with a state
-// blob that is not a valid envelope must surface as a decode error, not
-// garbage weights.
+// TestTrainerRejectsMalformedUpload: an agent answering a well-formed
+// envelope whose state blob is not decodable must come back as a
+// Rejected result — the round completes and the garbage never reaches
+// aggregation — not as a run-failing error.
 func TestTrainerRejectsMalformedUpload(t *testing.T) {
 	ts := fakeAgent(t, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -48,12 +49,36 @@ func TestTrainerRejectsMalformedUpload(t *testing.T) {
 			GotIndex: 0, State: []byte("these are not weights"), Samples: 10,
 		})
 	})
-	_, err := dispatchTo(t, ts.URL)
-	if err == nil {
+	res, err := dispatchTo(t, ts.URL)
+	if err != nil {
+		t.Fatalf("corrupt upload should reject, not error: %v", err)
+	}
+	if !res.Rejected {
 		t.Fatal("malformed upload accepted")
 	}
-	if !strings.Contains(err.Error(), "decode upload") {
-		t.Fatalf("error should identify the upload decode, got: %v", err)
+	if res.State != nil {
+		t.Fatal("rejected result carried state")
+	}
+	if res.GotBytes == 0 {
+		t.Fatal("rejected upload should still record the bytes that crossed")
+	}
+}
+
+// TestTrainerRejectsBadMemberIndex: a member index outside the pool is an
+// agent-content fault — Rejected, not an error.
+func TestTrainerRejectsBadMemberIndex(t *testing.T) {
+	ts := fakeAgent(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TrainResponse{
+			GotIndex: 99, State: []byte{1, 2, 3}, Samples: 10,
+		})
+	})
+	res, err := dispatchTo(t, ts.URL)
+	if err != nil {
+		t.Fatalf("bad member index should reject, not error: %v", err)
+	}
+	if !res.Rejected {
+		t.Fatal("bad member index accepted")
 	}
 }
 

@@ -124,10 +124,18 @@ type Agent struct {
 	// request (side "agent"), keyed by the Fednet-Flight header so the
 	// handler time joins the deterministic flight span in `fltrace join`.
 	Wall *obs.JSONLWriter
+	// Adversary, when enabled, makes this agent act out its client's
+	// deterministic behavior draw (core.AdversarySpec.BehaviorOf) — the
+	// HTTP mirror of the in-process injection, tampering bit-identically.
+	Adversary core.AdversarySpec
 
 	// instance identifies this agent construction; a restarted agent gets
 	// a fresh ID, which is how the server notices its negotiation is stale.
 	instance string
+	// advMu/advPrev hold the stale-replay behavior's previous trained
+	// state (the agent serves exactly one client).
+	advMu   sync.Mutex
+	advPrev nn.State
 	// ef holds this agent's residual streams, one per codec tag.
 	efMu sync.Mutex
 	ef   map[string]*wire.ErrorFeedback
@@ -337,13 +345,39 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 	if err != nil {
 		return TrainResponse{}, err
 	}
+	behavior := a.Adversary.BehaviorOf(a.Client.ID)
+	trained = a.applyBehavior(behavior, trained, st)
 	// The upload diffs against the dispatched state as this device
 	// decoded it — the reference the server reconstructs the same way.
 	up, err := a.uplinkCodec(codec).Encode(trained, st)
 	if err != nil {
 		return TrainResponse{}, err
 	}
+	if behavior == core.Corrupt {
+		// Bit-flip the encoded payload exactly as the in-process path
+		// does — the envelope stays well-formed, the inner state does not.
+		a.Adversary.CorruptPayload(a.Client.ID, up)
+	}
 	return TrainResponse{GotIndex: got.Index, Codec: codec.Tag(), State: up, Samples: a.Client.Data.Len()}, nil
+}
+
+// applyBehavior mirrors the in-process trainer's post-training injection:
+// stateless transforms go through core.AdversarySpec.Mutate; stale-replay
+// keeps the previous trained state in this agent (one agent = one client,
+// and a client trains at most one flight at a time, so the replay order
+// is deterministic).
+func (a *Agent) applyBehavior(b core.Behavior, trained, sent nn.State) nn.State {
+	if b == core.StaleReplay {
+		a.advMu.Lock()
+		prev := a.advPrev
+		a.advPrev = trained.Clone()
+		a.advMu.Unlock()
+		if prev != nil {
+			return prev
+		}
+		return trained
+	}
+	return a.Adversary.Mutate(b, trained, sent)
 }
 
 // HTTPTrainer implements core.Trainer by POSTing dispatches to per-client
@@ -624,29 +658,47 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 	if resp.Failed {
 		return core.TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: codec.Tag()}, httpResp.StatusCode, nil
 	}
-	if resp.GotIndex < 0 || resp.GotIndex >= len(t.Pool.Members) {
-		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: client %d returned bad member index %d", clientID, resp.GotIndex)
+	// From here on the envelope is well-formed HTTP+JSON from a live agent:
+	// anything wrong with its *content* — a member index outside the pool,
+	// an unknown or undecodable inner payload, a non-positive sample count
+	// — is the agent's fault, not the transport's. Surface it as a
+	// Rejected result so the flight ledgers a rejection and the round
+	// completes; erroring here would fail the whole run, and a non-200
+	// status would trigger a pointless re-negotiation.
+	reject := func(got prune.Submodel, tag string) (core.TrainResult, int, error) {
+		return core.TrainResult{
+			Rejected: true, Got: got, SentBytes: sentBytes,
+			GotBytes: int64(len(resp.State)), CodecTag: tag,
+		}, httpResp.StatusCode, nil
 	}
+	if resp.GotIndex < 0 || resp.GotIndex >= len(t.Pool.Members) {
+		return reject(t.Pool.Smallest(), codec.Tag())
+	}
+	got := t.Pool.Members[resp.GotIndex]
 	upCodec, err := wire.ByTag(resp.Codec)
 	if err != nil {
-		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: client %d: %w", clientID, err)
+		return reject(got, codec.Tag())
 	}
 	var ref nn.State
 	if upCodec.UsesRef() {
 		// Reconstruct the agent's reference — its decode of the dispatch —
-		// memoized per payload for the current round.
+		// memoized per payload for the current round. This decodes our own
+		// encoding, so a failure is a server-side bug: keep it a hard error.
 		if ref, err = t.downRef(codec, down); err != nil {
 			return core.TrainResult{}, httpResp.StatusCode, err
 		}
 	}
 	st, err := upCodec.Decode(resp.State, ref)
 	if err != nil {
-		return core.TrainResult{}, httpResp.StatusCode, fmt.Errorf("fednet: decode upload from client %d: %w", clientID, err)
+		return reject(got, upCodec.Tag())
+	}
+	if resp.Samples <= 0 {
+		return reject(got, upCodec.Tag())
 	}
 	return core.TrainResult{
 		State:     st,
 		Samples:   resp.Samples,
-		Got:       t.Pool.Members[resp.GotIndex],
+		Got:       got,
 		SentBytes: sentBytes,
 		GotBytes:  int64(len(resp.State)),
 		CodecTag:  upCodec.Tag(),

@@ -23,6 +23,7 @@ type auditEdge struct {
 	version                          int
 	pendMerged, pendReused, pendLate int
 	pendFailed, pendDropped          int
+	pendRejected, pendClipped        int
 	commits                          int
 	anchor                           int   // global version at last down-sync
 	arrivalAnchors                   []int // FIFO: anchors of edge-commits in backhaul transit
@@ -42,6 +43,7 @@ type Auditor struct {
 	flights, commitSpans               int64
 	merged, late, lateReused           int64
 	dropped, failed, trainSkipped      int64
+	rejected, clipped                  int64
 	down, up, upEst                    int64
 	discountSum                        float64
 	globalVersion                      int
@@ -141,6 +143,16 @@ func (a *Auditor) addFlight(sp obs.Span) {
 	case obs.OutcomeMerged:
 		a.merged++
 		e.pendMerged++
+	case obs.OutcomeClipped:
+		// A clipped flight IS a fresh merge — the label records that its
+		// delta was norm-clipped on the way in.
+		a.merged++
+		a.clipped++
+		e.pendMerged++
+		e.pendClipped++
+	case obs.OutcomeRejected:
+		a.rejected++
+		e.pendRejected++
 	case obs.OutcomeLateReused:
 		a.lateReused++
 		e.pendReused++
@@ -165,7 +177,7 @@ func (a *Auditor) addFlight(sp obs.Span) {
 			a.upEst += sp.UpBytesEst
 		}
 	}
-	if sp.Outcome == obs.OutcomeMerged || sp.Outcome == obs.OutcomeLateReused {
+	if sp.Outcome == obs.OutcomeMerged || sp.Outcome == obs.OutcomeClipped || sp.Outcome == obs.OutcomeLateReused {
 		// Staleness replay: the span's anchor version plus its recorded
 		// staleness must land exactly on the tier's replayed version.
 		if want := e.version - sp.Ver; sp.Staleness != want {
@@ -184,12 +196,14 @@ func (a *Auditor) addCommit(sp obs.Span) {
 	e.commits++
 	fresh := sp.Merged - sp.Reused
 	if fresh != e.pendMerged || sp.Reused != e.pendReused || sp.Late != e.pendLate ||
-		sp.Failed != e.pendFailed || sp.Dropped != e.pendDropped {
-		a.violatef("commit edge=%d round=%d t=%.3f counts (merged %d reused %d late %d failed %d dropped %d) != flight spans since last commit (%d %d %d %d %d)",
-			sp.Edge, sp.Round, sp.Time, fresh, sp.Reused, sp.Late, sp.Failed, sp.Dropped,
-			e.pendMerged, e.pendReused, e.pendLate, e.pendFailed, e.pendDropped)
+		sp.Failed != e.pendFailed || sp.Dropped != e.pendDropped ||
+		sp.Rejected != e.pendRejected || sp.Clipped != e.pendClipped {
+		a.violatef("commit edge=%d round=%d t=%.3f counts (merged %d reused %d late %d failed %d dropped %d rejected %d clipped %d) != flight spans since last commit (%d %d %d %d %d %d %d)",
+			sp.Edge, sp.Round, sp.Time, fresh, sp.Reused, sp.Late, sp.Failed, sp.Dropped, sp.Rejected, sp.Clipped,
+			e.pendMerged, e.pendReused, e.pendLate, e.pendFailed, e.pendDropped, e.pendRejected, e.pendClipped)
 	}
 	e.pendMerged, e.pendReused, e.pendLate, e.pendFailed, e.pendDropped = 0, 0, 0, 0, 0
+	e.pendRejected, e.pendClipped = 0, 0
 	if sp.Merged > 0 {
 		// ApplyUpdates is a no-op on an empty update set, so the model
 		// version moves exactly on non-empty commits.
@@ -208,7 +222,7 @@ func (a *Auditor) Finish() []string {
 	sort.Ints(ids)
 	for _, id := range ids {
 		e := a.edges[id]
-		if n := e.pendMerged + e.pendReused + e.pendLate + e.pendFailed + e.pendDropped; n > 0 {
+		if n := e.pendMerged + e.pendReused + e.pendLate + e.pendFailed + e.pendDropped + e.pendRejected; n > 0 {
 			a.violatef("edge=%d: %d flight spans after the last commit", id, n)
 		}
 	}
@@ -244,6 +258,8 @@ func (a *Auditor) Finish() []string {
 	checkInt("late-reused", a.lateReused, int64(l.LateReused))
 	checkInt("dropped", a.dropped, int64(l.Dropped))
 	checkInt("failed", a.failed, int64(l.Failed))
+	checkInt("rejected", a.rejected, int64(l.Rejected))
+	checkInt("clipped", a.clipped, int64(l.Clipped))
 	checkInt("train-skipped", a.trainSkipped, int64(l.TrainSkipped))
 	checkInt("sent bytes", a.down, l.SentBytes)
 	checkInt("returned bytes", a.up, l.ReturnedBytes)

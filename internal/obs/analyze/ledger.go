@@ -40,6 +40,12 @@ type LedgerSummary struct {
 	Dropped      int `json:"dropped"`
 	Failed       int `json:"failed"`
 	TrainSkipped int `json:"train_skipped"`
+	// Rejected counts uploads refused at record time (undecodable or
+	// non-finite payloads, non-positive sample weights); Clipped counts
+	// fresh merges a robust policy norm-clipped (a subset of the merges,
+	// censused separately under Merged's "clipped" span label).
+	Rejected int `json:"rejected,omitempty"`
+	Clipped  int `json:"clipped,omitempty"`
 
 	// Wire and parameter totals (core.RoundStats semantics: failed and
 	// dropped dispatches return nothing; estimates count only beside an
@@ -89,11 +95,16 @@ func SummarizeStats(stats []core.RoundStats) LedgerSummary {
 				s.Dropped++
 			case d.Failed:
 				s.Failed++
+			case d.Rejected:
+				s.Rejected++
 			case d.LateReused:
 				s.LateReused++
 			case d.Late:
 				s.Late++
 			default:
+				if d.Clipped {
+					s.Clipped++
+				}
 				s.Merged++
 			}
 		}
@@ -112,6 +123,8 @@ func (s *LedgerSummary) AddStats(stats []core.RoundStats) {
 	s.LateReused += o.LateReused
 	s.Dropped += o.Dropped
 	s.Failed += o.Failed
+	s.Rejected += o.Rejected
+	s.Clipped += o.Clipped
 	s.TrainSkipped += o.TrainSkipped
 	s.SentBytes += o.SentBytes
 	s.ReturnedBytes += o.ReturnedBytes

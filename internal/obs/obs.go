@@ -70,6 +70,12 @@ const (
 	OutcomeLateReused = "late-reused"
 	OutcomeDropped    = "dropped"
 	OutcomeFailed     = "failed"
+	// OutcomeRejected marks an upload that arrived but was refused —
+	// undecodable or non-finite payload, or a non-positive sample weight.
+	OutcomeRejected = "rejected"
+	// OutcomeClipped marks a fresh merge whose update was norm-clipped by a
+	// robust aggregation policy before folding in (clipped ⊆ merged).
+	OutcomeClipped = "clipped"
 )
 
 // LRU ops (Span.Op for KindLRU).
@@ -134,11 +140,15 @@ type Span struct {
 	TrainSkipped bool    `json:"train_skipped,omitempty"`
 
 	// Commit outcome counts (KindCommit, KindEdgeCommit, KindGlobalMerge).
-	Merged  int `json:"merged,omitempty"`
-	Failed  int `json:"failed,omitempty"`
-	Late    int `json:"late,omitempty"`
-	Reused  int `json:"reused,omitempty"`
-	Dropped int `json:"dropped,omitempty"`
+	// Rejected counts refused uploads; Clipped counts norm-clipped merges
+	// (a subset of Merged, not an extra class).
+	Merged   int `json:"merged,omitempty"`
+	Failed   int `json:"failed,omitempty"`
+	Late     int `json:"late,omitempty"`
+	Reused   int `json:"reused,omitempty"`
+	Dropped  int `json:"dropped,omitempty"`
+	Rejected int `json:"rejected,omitempty"`
+	Clipped  int `json:"clipped,omitempty"`
 }
 
 // SpanSink receives completed spans. Implementations must be safe for

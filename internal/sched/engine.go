@@ -545,6 +545,8 @@ func (e *Engine) bankResidual(fl *flight) error {
 		// A capacity failure that also straggled: nothing to reuse, the
 		// ledger entry is plain waste.
 		e.logf("%.3f late-failed c%d %s", e.clock, d.Client, d.Got.Name())
+	} else if d.Rejected {
+		e.logf("%.3f late-rejected c%d %s", e.clock, d.Client, d.Got.Name())
 	} else {
 		e.logf("%.3f late-reuse c%d %s stale=%d", e.clock, d.Client, d.Got.Name(), stale)
 	}
@@ -586,19 +588,32 @@ func (e *Engine) commitRecorded(round int, stats core.RoundStats, updates []agg.
 			c.Dropped++
 		case d.Failed:
 			c.Failed++
+		case d.Rejected:
+			c.Rejected++
 		case d.LateReused:
 			c.LateReused++
 		case d.Late:
 			c.Late++
+		default:
+			if d.Clipped {
+				c.Clipped++
+			}
 		}
 	}
 	e.commits = append(e.commits, c)
-	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d reused=%d dropped=%d",
-		e.clock, round, c.Merged, c.Failed, c.Late, c.LateReused, c.Dropped)
+	// The rejected/clipped suffix appears only when nonzero: honest runs
+	// keep the pinned log line byte-identical to previous releases.
+	suffix := ""
+	if c.Rejected > 0 || c.Clipped > 0 {
+		suffix = fmt.Sprintf(" rejected=%d clipped=%d", c.Rejected, c.Clipped)
+	}
+	e.logf("%.3f commit round=%d merged=%d failed=%d late=%d reused=%d dropped=%d%s",
+		e.clock, round, c.Merged, c.Failed, c.Late, c.LateReused, c.Dropped, suffix)
 	if e.obs.Enabled() {
 		e.obs.Span(obs.Span{Kind: obs.KindCommit, Time: e.clock, Client: -1,
 			Round: round, Edge: e.spanEdge, Merged: c.Merged, Failed: c.Failed,
-			Late: c.Late, Reused: c.LateReused, Dropped: c.Dropped})
+			Late: c.Late, Reused: c.LateReused, Dropped: c.Dropped,
+			Rejected: c.Rejected, Clipped: c.Clipped})
 	}
 	return c, nil
 }

@@ -151,6 +151,12 @@ type Commit struct {
 	// (deadline-reuse). They are included in Merged.
 	LateReused int
 	Dropped    int // clients that went offline mid-flight
+	// Rejected counts uploads that arrived but were refused — undecodable
+	// or non-finite payloads, or a non-positive sample weight. Clipped
+	// counts merges whose update a robust policy norm-clipped first; they
+	// are included in Merged.
+	Rejected int
+	Clipped  int
 }
 
 // StalenessDiscount is the weight multiplier 1/(1+s)^α applied to an

@@ -354,6 +354,73 @@ func TestSerialParallelBitIdentity(t *testing.T) {
 	}
 }
 
+// TestSerialParallelBitIdentityRobustAgg extends the determinism bar to
+// the robust aggregation policies under an adversarial fleet: trimmed
+// mean, multi-Krum and clip-composed aggregation — with sign-flip, scale
+// and corrupt clients in the mix driving the Rejected and Clipped ledger
+// paths — must stay bit-identical between a serial and a wide executor.
+func TestSerialParallelBitIdentityRobustAgg(t *testing.T) {
+	commits := 3
+	if testing.Short() {
+		commits = 2
+	}
+	adv, err := core.ParseAdversary("mix:frac=0.5,signflip=1,scale=1,corrupt=1,k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed chosen so the 6-client fleet draws sign-flip, scale AND corrupt
+	// attackers — the rejection assertion below depends on it.
+	adv.Seed = 300
+	for _, aggSpec := range []string{
+		"trim:frac=0.25",
+		"krum:frac=0.25,m=2",
+		"clip:tau=0.5+trim:frac=0.25",
+	} {
+		run := func(par int) ([]string, map[string]float64, []core.RoundStats, *core.Server) {
+			srv := buildServerCfg(t, 6, 3, 43, func(cfg *core.Config) {
+				cfg.Agg = aggSpec
+				cfg.Adversary = adv
+			})
+			trace := &sched.RandomTrace{Seed: 99, MeanOn: 40, MeanOff: 5, SlowProb: 0.5, SlowFactor: 10}
+			eng, err := sched.New(srv, testSim(t), trace, sched.Config{
+				Policy: sched.DeadlineReuse, K: 3, Extra: 2, Buffer: 2, Epochs: 1, Parallelism: par,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(commits, nil); err != nil {
+				t.Fatalf("%s par=%d: %v", aggSpec, par, err)
+			}
+			return eng.Log(), globalSums(srv), srv.Stats(), srv
+		}
+		logS, sumsS, statsS, srvS := run(1)
+		logP, sumsP, statsP, srvP := run(8)
+		if !reflect.DeepEqual(logS, logP) {
+			t.Fatalf("%s: event logs differ between Parallelism=1 and 8:\nserial:   %s\nparallel: %s",
+				aggSpec, strings.Join(logS, "\n          "), strings.Join(logP, "\n          "))
+		}
+		for name, v := range sumsS {
+			if sumsP[name] != v {
+				t.Fatalf("%s: parameter %q differs between serial and parallel runs", aggSpec, name)
+			}
+		}
+		if !reflect.DeepEqual(statsS, statsP) {
+			t.Fatalf("%s: ledgers differ between serial and parallel runs:\nserial   %+v\nparallel %+v",
+				aggSpec, statsS, statsP)
+		}
+		if !reflect.DeepEqual(srvS.Tables().Tr, srvP.Tables().Tr) || !reflect.DeepEqual(srvS.Tables().Tc, srvP.Tables().Tc) {
+			t.Fatalf("%s: RL tables differ between serial and parallel runs", aggSpec)
+		}
+		rejected := 0
+		for _, st := range statsS {
+			rejected += st.Rejected
+		}
+		if rejected == 0 {
+			t.Fatalf("%s: corrupt clients in the mix produced no rejections — the spec lost its teeth", aggSpec)
+		}
+	}
+}
+
 // TestRandomTraceWindows pins the trace generator's contract: windows are
 // deterministic per seed, piecewise constant, and alternate on/off when
 // MeanOff is set.

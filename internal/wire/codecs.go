@@ -23,8 +23,23 @@ func (Raw) UsesRef() bool { return false }
 // Encode implements Codec.
 func (Raw) Encode(st, _ nn.State) ([]byte, error) { return persist.EncodeToBytes(st) }
 
-// Decode implements Codec.
-func (Raw) Decode(data []byte, _ nn.State) (nn.State, error) { return persist.DecodeFromBytes(data) }
+// Decode implements Codec. The envelope is untrusted wire data: a NaN or
+// Inf that slipped in (corruption, or a diverged peer) must surface here,
+// not poison the aggregate downstream.
+func (Raw) Decode(data []byte, _ nn.State) (nn.State, error) {
+	st, err := persist.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	for name, t := range st {
+		for j, v := range t.Data {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("wire: raw %q has non-finite value at index %d", name, j)
+			}
+		}
+	}
+	return st, nil
+}
 
 // EstimateSize implements SizeEstimator: 8 bytes per float64 value (gzip
 // buys almost nothing on trained-weight mantissas) plus header headroom.
@@ -83,6 +98,11 @@ func (F32) Decode(data []byte, _ nn.State) (nn.State, error) {
 		}
 		vals := make([]float64, counts[i])
 		for j, v := range p.Data[i] {
+			// float32 carries its own Inf/NaN encodings: a corrupt or
+			// diverged payload must not decode into the aggregate silently.
+			if f := float64(v); math.IsInf(f, 0) || math.IsNaN(f) {
+				return nil, fmt.Errorf("wire: f32 %q has non-finite value at index %d", name, j)
+			}
 			vals[j] = float64(v)
 		}
 		st[name] = tensor.FromSlice(vals, p.Head.Shapes[i]...)
@@ -177,8 +197,10 @@ func (Q8) Decode(data []byte, _ nn.State) (nn.State, error) {
 		scale := p.Scales[i]
 		// Encode never produces a negative or non-finite scale, so either
 		// is wire corruption — and a NaN scale would otherwise decode the
-		// whole tensor to NaN with no diagnostic.
-		if scale < 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		// whole tensor to NaN with no diagnostic. A huge finite scale is
+		// equally corrupt: dequantising level ±128 against it overflows to
+		// Inf (Encode's scale is max|v|/127, far below this).
+		if scale < 0 || math.IsInf(scale, 0) || math.IsNaN(scale) || scale > math.MaxFloat64/128 {
 			return nil, fmt.Errorf("wire: q8 %q has corrupt scale %v", name, scale)
 		}
 		vals := make([]float64, counts[i])
@@ -391,6 +413,11 @@ func (d DeltaTopK) Decode(data []byte, ref nn.State) (nn.State, error) {
 			}
 			vals := make([]float64, counts[i])
 			for j, v := range p.Dense[i] {
+				// Same rule as the sparse path below: non-finite wire values
+				// are corruption, never data.
+				if f := float64(v); math.IsInf(f, 0) || math.IsNaN(f) {
+					return nil, fmt.Errorf("wire: delta %q has non-finite dense value at index %d", name, j)
+				}
 				vals[j] = float64(v)
 			}
 			st[name] = tensor.FromSlice(vals, shape...)

@@ -214,12 +214,25 @@ func (h header) validate() ([]int, error) {
 			if d < 0 {
 				return nil, fmt.Errorf("wire: negative dimension in %q", h.Names[i])
 			}
+			// Corrupt dimensions must not overflow the element count (a
+			// wrapped-negative count defeats every later length check) or
+			// drive a decoder into an absurd allocation.
+			if d > 0 && n > maxWireElems/d {
+				return nil, fmt.Errorf("wire: shape %v of %q exceeds %d elements", shape, h.Names[i], maxWireElems)
+			}
 			n *= d
 		}
 		counts[i] = n
 	}
 	return counts, nil
 }
+
+// maxWireElems bounds a single decoded tensor (2²⁸ elements = 2 GiB of
+// float64 — far beyond any model this transport moves). Wire data is
+// untrusted: without a cap, a corrupt shape turns into an enormous
+// allocation before any payload-length check can catch it (the delta
+// decoder allocates the full dense tensor for a sparse payload).
+const maxWireElems = 1 << 28
 
 // refBlock returns the prefix block of ref[name] matching shape, or nil
 // when ref has no compatible tensor. Uploads are often pruned below the
