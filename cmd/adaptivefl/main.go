@@ -15,7 +15,6 @@ import (
 	"strings"
 	"time"
 
-	"adaptivefl/internal/agg"
 	"adaptivefl/internal/baselines"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
@@ -24,173 +23,71 @@ import (
 	"adaptivefl/internal/obs"
 	"adaptivefl/internal/obs/analyze"
 	"adaptivefl/internal/prune"
-	"adaptivefl/internal/sched"
 	"adaptivefl/internal/wire"
 )
 
-// setupObs assembles the observability layer from the CLI flags: a JSONL
-// span trace, a live /metrics endpoint (with optional pprof) and a
-// per-commit progress feed on stderr. With none of the flags set it
-// returns a nil observer — the zero-cost disabled path. The returned func
-// flushes the trace and stops the endpoint; call it once the run is done.
-func setupObs(traceOut, metricsAddr string, withPprof, progress bool) (*obs.Observer, func(), error) {
-	if traceOut == "" && metricsAddr == "" && !progress {
-		return nil, func() {}, nil
-	}
-	var m *obs.Metrics
-	var done []func()
-	if metricsAddr != "" {
-		m = obs.NewMetrics()
-	}
-	o := obs.NewObserver(m)
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return nil, nil, err
-		}
-		jw := obs.NewJSONLWriter(f)
-		o.AddSink(jw)
-		done = append(done, func() {
-			if err := jw.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "adaptivefl: trace %s: %v\n", traceOut, err)
-			} else {
-				fmt.Fprintf(os.Stderr, "adaptivefl: trace %s: %d spans\n", traceOut, jw.Count())
-			}
-		})
-	}
-	if metricsAddr != "" {
-		bound, shutdown, err := obs.Serve(metricsAddr, m, withPprof)
-		if err != nil {
-			return nil, nil, err
-		}
-		fmt.Fprintf(os.Stderr, "adaptivefl: metrics on http://%s/metrics\n", bound)
-		done = append(done, func() { shutdown() }) //nolint:errcheck // best-effort teardown
-	}
-	if progress {
-		o.AddSink(obs.NewProgressSink(os.Stderr))
-	}
-	return o, func() {
-		for _, f := range done {
-			f()
-		}
-	}, nil
-}
-
 func main() {
+	var shared exp.Flags
+	shared.Register(flag.CommandLine)
+	shared.RegisterOverrides(flag.CommandLine)
 	var (
 		alg       = flag.String("alg", "AdaptiveFL", "algorithm: All-Large|Decoupled|HeteroFL|ScaleFL|AdaptiveFL|AdaptiveFL+{Greedy,Random,C,S,CS}|AdaptiveFL-Coarse")
 		dataset   = flag.String("dataset", "cifar10", "dataset: cifar10|cifar100|femnist|widar")
 		arch      = flag.String("arch", "vgg16", "architecture: vgg16|resnet18|mobilenetv2")
 		dist      = flag.String("dist", "iid", "distribution: iid|dir0.6|dir0.3|natural")
-		scale     = flag.String("scale", "quick", "fidelity: quick|small|paper")
-		rounds    = flag.Int("rounds", 0, "override rounds")
-		clients   = flag.Int("clients", 0, "override client population")
-		k         = flag.Int("k", 0, "override clients per round")
-		seed      = flag.Int64("seed", 0, "override seed")
-		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
-		schedP    = flag.String("sched", "", "aggregation policy: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
-		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
-		trace     = flag.String("trace", "", "availability trace for -sched runs: always|straggler[:slow=,prob=,on=]|churn[:on=,off=,...]; an adversary spec may ride after a ';'")
-		aggP      = flag.String("agg", "", "server aggregation policy: mean|trim[:frac=]|krum[:frac=,m=]|clip[:tau=], '+'-composable (empty = exact weighted mean)")
-		advP      = flag.String("adversary", "", "compromise a deterministic client fraction (core.ParseAdversary grammar, e.g. signflip:frac=0.3 or mix:frac=0.3,signflip=1,scale=1)")
-		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
 		useFednet = flag.Bool("fednet", false, "dispatch through real loopback HTTP agents (fednet.Cluster) instead of in-process training")
-
-		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (see docs/OBS.md)")
-		ledgerOut   = flag.String("ledger-out", "", "write the run's ledger summary JSON here (the `fltrace audit` cross-check target; AdaptiveFL variants only)")
-		wallOut     = flag.String("wall-out", "", "with -fednet: stream wall-clock HTTP timing records (server + agent side, keyed by flight ID) to this JSONL file for `fltrace join`")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090); with -fednet each agent additionally serves its own /metrics")
-		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof (and on fednet agents)")
-		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
+		wallOut   = flag.String("wall-out", "", "with -fednet: stream wall-clock HTTP timing records (server + agent side, keyed by flight ID) to this JSONL file for `fltrace join`")
 	)
 	flag.Parse()
 
-	sc, err := exp.ScaleByName(*scale)
+	if err := shared.Validate(); err != nil {
+		fatal(err)
+	}
+	sc, err := shared.Scale()
 	if err != nil {
 		fatal(err)
 	}
-	if *rounds > 0 {
-		sc.Rounds = *rounds
-	}
-	if *clients > 0 {
-		sc.Clients = *clients
-	}
-	if *k > 0 {
-		sc.K = *k
-	}
-	if *seed != 0 {
-		sc.Seed = *seed
-	}
-	if *par > 0 {
-		sc.Parallelism = *par
-	}
-	obsv, obsDone, err := setupObs(*traceOut, *metricsAddr, *pprofOn, *progressOn)
+	obsv, obsDone, err := shared.Observability("adaptivefl")
 	if err != nil {
 		fatal(err)
 	}
 	defer obsDone()
 	sc.Observer = obsv
-	if *codec != "" {
-		if _, err := wire.ByTag(*codec); err != nil {
-			fatal(err)
+
+	// The grammar of every spec flag is already validated; what remains is
+	// this command's gating — a single experiment cell, so a spec that the
+	// selected algorithm would silently ignore is an error, not a shrug.
+	requireAdaptive := func(flagName, val string) {
+		if val != "" && !strings.HasPrefix(*alg, "AdaptiveFL") {
+			fatal(fmt.Errorf("-%s applies to AdaptiveFL variants only (got -alg %s)", flagName, *alg))
 		}
-		// Only the AdaptiveFL server moves models through a codec; a
-		// baseline run with -codec would silently measure the lossless
-		// in-memory path under a codec label.
-		if !strings.HasPrefix(*alg, "AdaptiveFL") {
-			fatal(fmt.Errorf("-codec applies to AdaptiveFL variants only (got -alg %s)", *alg))
-		}
-		sc.Codec = *codec
 	}
-	if *schedP != "" {
-		if _, err := sched.ParsePolicy(*schedP); err != nil {
-			fatal(err)
-		}
-		// Only the AdaptiveFL server runs through the event engine; the
-		// baselines keep their own synchronous loops.
-		if !strings.HasPrefix(*alg, "AdaptiveFL") {
-			fatal(fmt.Errorf("-sched applies to AdaptiveFL variants only (got -alg %s)", *alg))
-		}
-		sc.Sched = *schedP
-		sc.Trace = *trace
-	} else if *trace != "" {
+	// Only the AdaptiveFL server moves models through a codec, runs
+	// through the event engine, or owns a robust aggregation stage; the
+	// baselines keep their own synchronous loops and exact means.
+	requireAdaptive("codec", shared.Codec)
+	requireAdaptive("sched", shared.Sched)
+	requireAdaptive("agg", shared.Agg)
+	requireAdaptive("adversary", shared.Adversary)
+	sc.Codec = shared.Codec
+	sc.Agg = shared.Agg
+	sc.Adversary = shared.Adversary
+	if shared.Sched != "" {
+		sc.Sched = shared.Sched
+		sc.Trace = shared.Trace
+	} else if shared.Trace != "" {
 		fatal(fmt.Errorf("-trace requires -sched"))
 	}
-	if *aggP != "" {
-		if _, _, err := agg.ParsePolicy(*aggP); err != nil {
-			fatal(err)
-		}
-		// Only the AdaptiveFL server owns a robust aggregation stage; the
-		// baselines merge with their own exact means.
-		if !strings.HasPrefix(*alg, "AdaptiveFL") {
-			fatal(fmt.Errorf("-agg applies to AdaptiveFL variants only (got -alg %s)", *alg))
-		}
-		sc.Agg = *aggP
-	}
-	if *advP != "" {
-		if _, err := core.ParseAdversary(*advP); err != nil {
-			fatal(err)
-		}
-		if !strings.HasPrefix(*alg, "AdaptiveFL") {
-			fatal(fmt.Errorf("-adversary applies to AdaptiveFL variants only (got -alg %s)", *alg))
-		}
-		sc.Adversary = *advP
-	}
-	if *estimate {
-		if sc.Codec == "" {
-			fatal(fmt.Errorf("-wire-estimate requires -codec (the parameter estimate already prices codec-less flights)"))
-		}
-		if *useFednet {
-			// Real agents answer with real payloads; there is nothing lazy
-			// to unlock and the plan-time estimate path is in-process only.
-			fatal(fmt.Errorf("-wire-estimate applies to in-process runs, not -fednet"))
-		}
-		sc.EstimateUp = true
+	if shared.WireEstimate && *useFednet {
+		// Real agents answer with real payloads; there is nothing lazy
+		// to unlock and the plan-time estimate path is in-process only.
+		fatal(fmt.Errorf("-wire-estimate applies to in-process runs, not -fednet"))
 	}
 
 	if *wallOut != "" && !*useFednet {
 		fatal(fmt.Errorf("-wall-out requires -fednet (wall records time real HTTP round trips)"))
 	}
+	ledgerOut := &shared.LedgerOut
 	if *ledgerOut != "" && !strings.HasPrefix(*alg, "AdaptiveFL") {
 		fatal(fmt.Errorf("-ledger-out applies to AdaptiveFL variants only (got -alg %s)", *alg))
 	}
@@ -225,7 +122,7 @@ func main() {
 			// every agent's request handling land in the same scrape, and
 			// each agent's own port additionally answers GET /metrics.
 			cluster.SetMetrics(m, func(int) *obs.Metrics { return m })
-			if *pprofOn {
+			if shared.Pprof {
 				for _, a := range cluster.Agents {
 					a.Pprof = true
 				}

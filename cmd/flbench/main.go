@@ -32,78 +32,22 @@ import (
 	"strings"
 	"time"
 
-	"adaptivefl/internal/agg"
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/exp"
 	"adaptivefl/internal/models"
-	"adaptivefl/internal/obs"
-	"adaptivefl/internal/sched"
+	"adaptivefl/internal/prune"
 	"adaptivefl/internal/tensor"
 	"adaptivefl/internal/wire"
 )
 
-// setupObs assembles the observability layer from the CLI flags: a JSONL
-// span trace, a live /metrics endpoint (with optional pprof) and a
-// per-commit progress feed on stderr. With none of the flags set it
-// returns a nil observer — the zero-cost disabled path. The returned func
-// flushes the trace and stops the endpoint; call it once the run is done.
-func setupObs(traceOut, metricsAddr string, withPprof, progress bool) (*obs.Observer, func(), error) {
-	if traceOut == "" && metricsAddr == "" && !progress {
-		return nil, func() {}, nil
-	}
-	var m *obs.Metrics
-	var done []func()
-	if metricsAddr != "" {
-		m = obs.NewMetrics()
-	}
-	o := obs.NewObserver(m)
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return nil, nil, err
-		}
-		jw := obs.NewJSONLWriter(f)
-		o.AddSink(jw)
-		done = append(done, func() {
-			if err := jw.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "flbench: trace %s: %v\n", traceOut, err)
-			} else {
-				fmt.Fprintf(os.Stderr, "flbench: trace %s: %d spans\n", traceOut, jw.Count())
-			}
-		})
-	}
-	if metricsAddr != "" {
-		bound, shutdown, err := obs.Serve(metricsAddr, m, withPprof)
-		if err != nil {
-			return nil, nil, err
-		}
-		fmt.Fprintf(os.Stderr, "flbench: metrics on http://%s/metrics\n", bound)
-		done = append(done, func() { shutdown() }) //nolint:errcheck // best-effort teardown
-	}
-	if progress {
-		o.AddSink(obs.NewProgressSink(os.Stderr))
-	}
-	return o, func() {
-		for _, f := range done {
-			f()
-		}
-	}, nil
-}
-
 func main() {
+	var shared exp.Flags
+	shared.Register(flag.CommandLine)
 	var (
 		expName   = flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|sched|byzantine|all")
-		scale     = flag.String("scale", "quick", "fidelity: quick|small|paper")
 		datasets  = flag.String("datasets", "cifar10,cifar100,femnist", "Table 2 datasets (comma separated)")
 		archs     = flag.String("archs", "vgg16,resnet18", "Table 2 architectures (comma separated)")
 		dists     = flag.String("dists", "iid,dir0.6,dir0.3", "Table 2 distributions (comma separated)")
-		codec     = flag.String("codec", "", "wire codec for AdaptiveFL model transport: raw|f32|q8|delta (empty = exact in-memory)")
-		schedP    = flag.String("sched", "", "aggregation policy for AdaptiveFL rows: sync|deadline|deadline-reuse|semiasync (empty = legacy synchronous loop)")
-		trace     = flag.String("trace", "", "availability trace for scheduled runs (always|straggler[:...]|churn[:...]); an adversary spec may ride after a ';'")
-		aggP      = flag.String("agg", "", "aggregation policy for AdaptiveFL rows: mean|trim[:frac=]|krum[:frac=,m=]|clip[:tau=], '+'-composable (empty = exact weighted mean)")
-		advP      = flag.String("adversary", "", "Byzantine sub-population for AdaptiveFL rows (core.ParseAdversary grammar, e.g. signflip:frac=0.3); -exp byzantine uses it as the mounted attack")
-		par       = flag.Int("par", 0, "training parallelism override (0 = the scale's default)")
-		estimate  = flag.Bool("wire-estimate", false, "price scheduled codec uplinks from the codec's size estimate (lazy codec flights; requires -codec)")
 		benchOut  = flag.String("bench-json", "", "measure the scheduler policies (ns/round, allocs/round) and write the results to this JSON file instead of running experiments")
 		benchBase = flag.String("bench-baseline", "", "with -bench-json: compare the fresh measurements against this committed baseline and fail on regression")
 		benchTol  = flag.Float64("bench-tol", 0.25, "with -bench-baseline: allowed relative ns/round regression before failing (0.25 = +25%)")
@@ -111,34 +55,22 @@ func main() {
 		edges     = flag.Int("edges", 1, "with -pop: number of edge aggregators in the two-tier hierarchy (1 = flat)")
 		simSecs   = flag.Float64("sim-seconds", 86400, "with -pop: virtual-time horizon of the simulation (default one simulated day)")
 		timeScale = flag.Float64("time-scale", 0, "with -pop: multiply every priced duration by this factor (0 = auto-calibrate the reduced bench model to a realistic fleet round cadence)")
-
-		traceOut    = flag.String("trace-out", "", "stream every span of the run to this file as JSON lines (bounded memory; see docs/OBS.md)")
-		ledgerOut   = flag.String("ledger-out", "", "with -pop: write the run's ledger summary JSON here (the `fltrace audit` cross-check target)")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at this address's /metrics while the run is live (e.g. 127.0.0.1:9090)")
-		pprofOn     = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof")
-		progressOn  = flag.Bool("progress", false, "print a live per-commit progress line to stderr")
 	)
 	flag.Parse()
 
-	sc, err := exp.ScaleByName(*scale)
+	if err := shared.Validate(); err != nil {
+		fatal(err)
+	}
+	sc, err := shared.Scale()
 	if err != nil {
 		fatal(err)
 	}
-	if *par > 0 {
-		sc.Parallelism = *par
-	}
-	obsv, obsDone, err := setupObs(*traceOut, *metricsAddr, *pprofOn, *progressOn)
+	obsv, obsDone, err := shared.Observability("flbench")
 	if err != nil {
 		fatal(err)
 	}
 	defer obsDone()
 	sc.Observer = obsv
-	if *estimate {
-		if *codec == "" {
-			fatal(fmt.Errorf("-wire-estimate requires -codec"))
-		}
-		sc.EstimateUp = true
-	}
 	if *benchOut != "" {
 		fresh, err := writeSchedBench(*benchOut, sc)
 		if err != nil {
@@ -152,51 +84,34 @@ func main() {
 		return
 	}
 	if *popSpec != "" {
-		if *schedP != "" {
-			if _, err := sched.ParsePolicy(*schedP); err != nil {
-				fatal(err)
-			}
-			sc.Sched = *schedP
-		}
-		if err := runPopSim(*popSpec, sc, *edges, *simSecs, *timeScale, *ledgerOut); err != nil {
+		sc.Sched = shared.Sched
+		if err := runPopSim(*popSpec, sc, *edges, *simSecs, *timeScale, shared.LedgerOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if *ledgerOut != "" {
+	if shared.LedgerOut != "" {
 		fatal(fmt.Errorf("-ledger-out requires -pop"))
 	}
-	if *schedP != "" {
-		if _, err := sched.ParsePolicy(*schedP); err != nil {
-			fatal(err)
-		}
-		sc.Sched = *schedP
-		fmt.Fprintf(os.Stderr, "flbench: -sched %s applies to AdaptiveFL variants only; baseline rows keep their synchronous loops\n", *schedP)
+	// Unlike cmd/adaptivefl (which rejects specs the selected algorithm
+	// would ignore), flbench runs mixed-algorithm experiments by design —
+	// so say out loud which rows each spec actually touches.
+	if shared.Sched != "" {
+		sc.Sched = shared.Sched
+		fmt.Fprintf(os.Stderr, "flbench: -sched %s applies to AdaptiveFL variants only; baseline rows keep their synchronous loops\n", shared.Sched)
 	}
-	sc.Trace = *trace
-	if *aggP != "" {
-		if _, _, err := agg.ParsePolicy(*aggP); err != nil {
-			fatal(err)
-		}
-		sc.Agg = *aggP
-		fmt.Fprintf(os.Stderr, "flbench: -agg %s applies to AdaptiveFL variants only; baseline rows keep their exact means\n", *aggP)
+	sc.Trace = shared.Trace
+	if shared.Agg != "" {
+		sc.Agg = shared.Agg
+		fmt.Fprintf(os.Stderr, "flbench: -agg %s applies to AdaptiveFL variants only; baseline rows keep their exact means\n", shared.Agg)
 	}
-	if *advP != "" {
-		if _, err := core.ParseAdversary(*advP); err != nil {
-			fatal(err)
-		}
-		sc.Adversary = *advP
-		fmt.Fprintf(os.Stderr, "flbench: -adversary %s compromises clients on AdaptiveFL rows only\n", *advP)
+	if shared.Adversary != "" {
+		sc.Adversary = shared.Adversary
+		fmt.Fprintf(os.Stderr, "flbench: -adversary %s compromises clients on AdaptiveFL rows only\n", shared.Adversary)
 	}
-	if *codec != "" {
-		if _, err := wire.ByTag(*codec); err != nil {
-			fatal(err)
-		}
-		sc.Codec = *codec
-		// Unlike cmd/adaptivefl (which rejects -codec for baselines),
-		// flbench runs mixed-algorithm experiments by design — so say
-		// out loud which rows the codec actually touches.
-		fmt.Fprintf(os.Stderr, "flbench: -codec %s applies to AdaptiveFL variants only; baseline rows run the exact in-memory path\n", *codec)
+	if shared.Codec != "" {
+		sc.Codec = shared.Codec
+		fmt.Fprintf(os.Stderr, "flbench: -codec %s applies to AdaptiveFL variants only; baseline rows run the exact in-memory path\n", shared.Codec)
 	}
 	w := os.Stdout
 
@@ -419,6 +334,9 @@ func writeSchedBench(path string, sc exp.Scale) (schedBenchFile, error) {
 	if err := benchMillionClients(&out, s); err != nil {
 		return out, err
 	}
+	if err := benchDownlinkFanout(&out, s); err != nil {
+		return out, err
+	}
 	benchGemm(&out)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -468,6 +386,101 @@ func benchMillionClients(out *schedBenchFile, s exp.Scale) error {
 	out.Policies["clients=1e6"] = row
 	fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/commit %8d allocs/commit (%d commits, live=%d made=%d)\n",
 		"clients=1e6", row.NsPerRound, row.AllocsPerRound, res.Commits, res.Live, res.TotalMade)
+	return nil
+}
+
+// downlinkIters fixes each downlink-fanout row's measurement window (one
+// warmup round then this many timed ones).
+const downlinkIters = 8
+
+// benchDownlinkFanout records the encode-once dispatch fan-out as extra
+// advisory rows: for each cohort size, the wall cost of planning one
+// round's whole downlink — RL selection, artifact-store extract+encode
+// for each distinct pool member, store hits for every further client.
+// The "downlink=N" keys are not in exp.SchedPolicies, so compareSchedBench
+// records them without gating; the point of the series is that
+// BytesPerRound (bytes actually pushed through the codec per round) stays
+// flat while N grows, and ns/round grows only with the per-client
+// planning bookkeeping — the store encodes each (snapshot, member, codec)
+// exactly once per commit no matter how wide the cohort fans out.
+func benchDownlinkFanout(out *schedBenchFile, s exp.Scale) error {
+	for _, n := range []int{8, 32, 128} {
+		run := s
+		run.Clients = n
+		run.K = n
+		fed, err := exp.BuildFederation(models.MobileNetV2, "widar", exp.Natural, [3]float64{4, 10, 3}, run)
+		if err != nil {
+			return err
+		}
+		srv, err := core.NewServer(core.Config{
+			Model: fed.Model, Pool: prune.Config{P: 3}, ClientsPerRound: n,
+			Train: run.TrainConfig(), Seed: run.Seed, Codec: wire.Q8{},
+		}, fed.Clients)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("downlink=%d", n)
+		plan := func() (int64, error) {
+			// One round's downlink, no training: plan every flight so the
+			// store serves each artifact and the ledger prices real bytes.
+			slots := srv.PlanSlots(n, nil)
+			trainer, err := srv.RoundTrainer(slots)
+			if err != nil {
+				return 0, err
+			}
+			var bytes int64
+			encoded := map[int]bool{} // members whose encode this round paid
+			for _, sl := range slots {
+				f := srv.OpenFlight(sl)
+				pl, err := srv.Plan(trainer, f)
+				if err != nil {
+					return 0, err
+				}
+				if !encoded[sl.Sent.Index] {
+					encoded[sl.Sent.Index] = true
+					bytes += pl.SentBytes
+				}
+				srv.SkipFlight(f)
+				srv.Release(f)
+			}
+			// Advance the snapshot so the next iteration re-encodes like a
+			// fresh commit instead of replaying warm store hits: the key is
+			// content-addressed, so the weights must actually move.
+			st := srv.Global().Clone()
+			for _, ten := range st {
+				ten.Data[0] += 1e-6
+				break
+			}
+			srv.SyncGlobal(st)
+			return bytes, nil
+		}
+		if _, err := plan(); err != nil { // warmup
+			return fmt.Errorf("%s: %w", key, err)
+		}
+		var bytes int64
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < downlinkIters; i++ {
+			b, err := plan()
+			if err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+			bytes = b
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		row := schedBenchResult{
+			NsPerRound:     elapsed.Nanoseconds() / downlinkIters,
+			AllocsPerRound: int64(m1.Mallocs-m0.Mallocs) / downlinkIters,
+			BytesPerRound:  bytes,
+			Rounds:         downlinkIters,
+		}
+		out.Policies[key] = row
+		fmt.Fprintf(os.Stderr, "flbench: %-14s %12d ns/round %8d allocs/round (%d encoded bytes/round, %d clients)\n",
+			key, row.NsPerRound, row.AllocsPerRound, row.BytesPerRound, n)
+	}
 	return nil
 }
 

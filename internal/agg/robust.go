@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
 	"strings"
 
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/spec"
 	"adaptivefl/internal/tensor"
 )
 
@@ -53,7 +53,7 @@ type TrimmedMean struct {
 
 // Name implements Policy.
 func (p TrimmedMean) Name() string {
-	return "trim:frac=" + strconv.FormatFloat(p.Frac, 'g', -1, 64)
+	return spec.NewBuilder("trim").Float("frac", p.Frac).String()
 }
 
 // Aggregate implements Policy.
@@ -191,7 +191,7 @@ type Krum struct {
 
 // Name implements Policy.
 func (p Krum) Name() string {
-	return "krum:frac=" + strconv.FormatFloat(p.Frac, 'g', -1, 64) + ",m=" + strconv.Itoa(p.M)
+	return spec.NewBuilder("krum").Float("frac", p.Frac).Int("m", p.M).String()
 }
 
 // Aggregate implements Policy.
@@ -362,48 +362,40 @@ func (c Clipper) Clip(ref, upd nn.State) (nn.State, bool) {
 //
 // Clipping is a per-update transform, so it composes with every policy;
 // at most one non-clip policy may appear.
-func ParsePolicy(spec string) (Policy, *Clipper, error) {
+func ParsePolicy(policySpec string) (Policy, *Clipper, error) {
 	var pol Policy
 	var clip *Clipper
-	for _, part := range strings.Split(spec, "+") {
+	for _, part := range strings.Split(policySpec, "+") {
 		part = strings.TrimSpace(part)
-		name, args, _ := strings.Cut(part, ":")
-		params, err := parsePolicyArgs(part, args)
+		name, args, err := spec.Parse("agg", "policy", part)
 		if err != nil {
 			return nil, nil, err
-		}
-		get := func(key string, def float64) float64 {
-			if v, ok := params[key]; ok {
-				delete(params, key)
-				return v
-			}
-			return def
 		}
 		var p Policy
 		switch name {
 		case "", "mean":
 			p = Mean{}
 		case "trim":
-			p = TrimmedMean{Frac: get("frac", 0.2)}
+			p = TrimmedMean{Frac: args.Float("frac", 0.2)}
 		case "krum":
-			p = Krum{Frac: get("frac", 0.2), M: int(get("m", 1))}
+			p = Krum{Frac: args.Float("frac", 0.2), M: args.Int("m", 1)}
 		case "clip":
 			if clip != nil {
-				return nil, nil, fmt.Errorf("agg: duplicate clip in policy %q", spec)
+				return nil, nil, fmt.Errorf("agg: duplicate clip in policy %q", policySpec)
 			}
-			clip = &Clipper{Tau: get("tau", 5)}
+			clip = &Clipper{Tau: args.Float("tau", 5)}
 			if clip.Tau <= 0 {
 				return nil, nil, fmt.Errorf("agg: clip tau must be positive")
 			}
 		default:
 			return nil, nil, fmt.Errorf("agg: unknown aggregation policy %q (want mean|trim|krum|clip)", name)
 		}
-		for k := range params {
-			return nil, nil, fmt.Errorf("agg: unknown param %q for policy %q", k, name)
+		if err := args.Finish(); err != nil {
+			return nil, nil, err
 		}
 		if p != nil {
 			if pol != nil {
-				return nil, nil, fmt.Errorf("agg: policy %q combines two aggregation rules (only clip composes)", spec)
+				return nil, nil, fmt.Errorf("agg: policy %q combines two aggregation rules (only clip composes)", policySpec)
 			}
 			pol = p
 		}
@@ -425,24 +417,4 @@ func ParsePolicy(spec string) (Policy, *Clipper, error) {
 		}
 	}
 	return pol, clip, nil
-}
-
-// parsePolicyArgs parses "k=v,..." into a float map.
-func parsePolicyArgs(part, args string) (map[string]float64, error) {
-	params := map[string]float64{}
-	if args == "" {
-		return params, nil
-	}
-	for _, kv := range strings.Split(args, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return nil, fmt.Errorf("agg: policy param %q in %q is not key=value", kv, part)
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return nil, fmt.Errorf("agg: policy param %q: %w", kv, err)
-		}
-		params[strings.TrimSpace(k)] = f
-	}
-	return params, nil
 }

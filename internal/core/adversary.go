@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"strconv"
 	"strings"
 
 	"adaptivefl/internal/nn"
+	"adaptivefl/internal/spec"
 	"adaptivefl/internal/tensor"
 )
 
@@ -151,11 +151,14 @@ func advDefaults() AdversarySpec {
 //
 // The empty string parses to the zero spec (no adversaries). The seed is
 // not part of the grammar — set Spec.Seed after parsing.
-func ParseAdversary(spec string) (AdversarySpec, error) {
-	if spec == "" {
+func ParseAdversary(advSpec string) (AdversarySpec, error) {
+	if advSpec == "" {
 		return AdversarySpec{}, nil
 	}
-	name, args, _ := strings.Cut(spec, ":")
+	name, args, err := spec.Parse("core", "adversary", advSpec)
+	if err != nil {
+		return AdversarySpec{}, err
+	}
 	a := advDefaults()
 	single := -1
 	if name != "mix" {
@@ -170,41 +173,20 @@ func ParseAdversary(spec string) (AdversarySpec, error) {
 		}
 		a.Weights[single] = 1
 	}
-	if args != "" {
-		for _, kv := range strings.Split(args, ",") {
-			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-			if !ok {
-				return AdversarySpec{}, fmt.Errorf("core: adversary param %q is not key=value", kv)
-			}
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return AdversarySpec{}, fmt.Errorf("core: adversary param %q: %w", kv, err)
-			}
-			if f < 0 {
-				return AdversarySpec{}, fmt.Errorf("core: adversary param %q must be non-negative", kv)
-			}
-			switch k = strings.TrimSpace(k); k {
-			case "frac":
-				a.Frac = f
-			case "k":
-				a.K = f
-			default:
-				wi := -1
-				for i, bn := range behaviorNames {
-					if k == bn {
-						wi = i
-						break
-					}
-				}
-				if wi < 0 {
-					return AdversarySpec{}, fmt.Errorf("core: unknown adversary param %q", k)
-				}
-				if single >= 0 {
-					return AdversarySpec{}, fmt.Errorf("core: behavior weight %q only applies to mix specs", k)
-				}
-				a.Weights[wi] = f
-			}
+	a.Frac = args.NonNeg("frac", a.Frac)
+	a.K = args.NonNeg("k", a.K)
+	for i, bn := range behaviorNames {
+		if !args.Has(bn) {
+			continue
 		}
+		if single >= 0 {
+			args.Reject(bn, fmt.Errorf("core: behavior weight %q only applies to mix specs", bn))
+			continue
+		}
+		a.Weights[i] = args.NonNeg(bn, 0)
+	}
+	if err := args.Finish(); err != nil {
+		return AdversarySpec{}, err
 	}
 	if a.Frac > 1 {
 		return AdversarySpec{}, fmt.Errorf("core: adversary frac must be <= 1 (got %v)", a.Frac)
@@ -232,7 +214,6 @@ func (a AdversarySpec) String() string {
 	if !a.Enabled() {
 		return ""
 	}
-	ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 	single, nonzero := -1, 0
 	for i, w := range a.Weights {
 		if w > 0 {
@@ -240,32 +221,32 @@ func (a AdversarySpec) String() string {
 		}
 	}
 	if nonzero == 1 && a.Weights[single] == 1 {
-		s := behaviorNames[single] + ":frac=" + ff(a.Frac)
+		b := spec.NewBuilder(behaviorNames[single]).Float("frac", a.Frac)
 		if Behavior(single+1) == ScaleAttack {
-			s += ",k=" + ff(a.K)
+			b.Float("k", a.K)
 		}
-		return s
+		return b.String()
 	}
-	parts := []string{"frac=" + ff(a.Frac)}
+	b := spec.NewBuilder("mix").Float("frac", a.Frac)
 	for i, w := range a.Weights {
 		if w > 0 {
-			parts = append(parts, behaviorNames[i]+"="+ff(w))
+			b.Float(behaviorNames[i], w)
 		}
 	}
 	// k always renders in mix form so a non-default factor survives the
 	// round trip even when the scale weight happens to be zero.
-	parts = append(parts, "k="+ff(a.K))
-	return "mix:" + strings.Join(parts, ",")
+	b.Float("k", a.K)
+	return b.String()
 }
 
 // CutAdversary splits a composite "trace;adversary" spec: the part after
 // the first ';' parses as an adversary spec, the rest is returned for the
 // trace (or population) grammar. Specs without a ';' come back unchanged
 // with the zero AdversarySpec.
-func CutAdversary(spec string) (string, AdversarySpec, error) {
-	rest, advStr, found := strings.Cut(spec, ";")
+func CutAdversary(composite string) (string, AdversarySpec, error) {
+	rest, advStr, found := strings.Cut(composite, ";")
 	if !found {
-		return spec, AdversarySpec{}, nil
+		return composite, AdversarySpec{}, nil
 	}
 	a, err := ParseAdversary(strings.TrimSpace(advStr))
 	if err != nil {

@@ -4,13 +4,12 @@ import (
 	"container/list"
 	"fmt"
 	"math/rand"
-	"strconv"
-	"strings"
 	"sync"
 
 	"adaptivefl/internal/data"
 	"adaptivefl/internal/obs"
 	"adaptivefl/internal/prune"
+	"adaptivefl/internal/spec"
 )
 
 // Population abstracts the server's client fleet. The legacy path is an
@@ -134,72 +133,42 @@ func popDefaults() PopulationSpec {
 // Unspecified class shares keep their defaults (weak=0.4, medium=0.3,
 // strong=0.3); shares are normalised to sum to 1. The seed is not part of
 // the grammar — set Spec.Seed after parsing.
-func ParsePopulation(spec string) (PopulationSpec, error) {
-	name, args, _ := strings.Cut(spec, ":")
+func ParsePopulation(popSpec string) (PopulationSpec, error) {
+	name, args, err := spec.Parse("core", "population", popSpec)
+	if err != nil {
+		return PopulationSpec{}, err
+	}
 	if name != "mix" {
 		return PopulationSpec{}, fmt.Errorf("core: unknown population spec %q (want mix[:k=v,...])", name)
 	}
 	s := popDefaults()
-	if args == "" {
-		return s, nil
+	if v, raw, ok := args.Take("data"); ok {
+		if v == "" {
+			return PopulationSpec{}, fmt.Errorf("core: population param %q needs a dataset name", raw)
+		}
+		s.Dataset = v
 	}
 	advName := ""
-	advFrac, advK := -1.0, -1.0
-	for _, kv := range strings.Split(args, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return PopulationSpec{}, fmt.Errorf("core: population param %q is not key=value", kv)
+	if v, raw, ok := args.Take("adv"); ok {
+		if v == "" {
+			return PopulationSpec{}, fmt.Errorf("core: population param %q needs a behavior name", raw)
 		}
-		k = strings.TrimSpace(k)
-		if k == "data" {
-			if v == "" {
-				return PopulationSpec{}, fmt.Errorf("core: population param %q needs a dataset name", kv)
-			}
-			s.Dataset = v
-			continue
-		}
-		if k == "adv" {
-			if v == "" {
-				return PopulationSpec{}, fmt.Errorf("core: population param %q needs a behavior name", kv)
-			}
-			advName = v
-			continue
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return PopulationSpec{}, fmt.Errorf("core: population param %q: %w", kv, err)
-		}
-		if f < 0 {
-			return PopulationSpec{}, fmt.Errorf("core: population param %q must be non-negative", kv)
-		}
-		switch k {
-		case "n":
-			s.N = int(f)
-		case "weak":
-			s.Weak = f
-		case "medium":
-			s.Medium = f
-		case "strong":
-			s.Strong = f
-		case "on":
-			s.MeanOn = f
-		case "churn":
-			s.MeanOff = f
-		case "slow":
-			s.SlowFactor = f
-		case "slowprob":
-			s.SlowProb = f
-		case "samples":
-			s.Samples = int(f)
-		case "classes":
-			s.Classes = int(f)
-		case "advfrac":
-			advFrac = f
-		case "advk":
-			advK = f
-		default:
-			return PopulationSpec{}, fmt.Errorf("core: unknown population param %q", k)
-		}
+		advName = v
+	}
+	s.N = args.Int("n", s.N)
+	s.Weak = args.NonNeg("weak", s.Weak)
+	s.Medium = args.NonNeg("medium", s.Medium)
+	s.Strong = args.NonNeg("strong", s.Strong)
+	s.MeanOn = args.NonNeg("on", s.MeanOn)
+	s.MeanOff = args.NonNeg("churn", s.MeanOff)
+	s.SlowFactor = args.NonNeg("slow", s.SlowFactor)
+	s.SlowProb = args.NonNeg("slowprob", s.SlowProb)
+	s.Samples = args.Int("samples", s.Samples)
+	s.Classes = args.Int("classes", s.Classes)
+	advFrac := args.NonNeg("advfrac", -1)
+	advK := args.NonNeg("advk", -1)
+	if err := args.Finish(); err != nil {
+		return PopulationSpec{}, err
 	}
 	if advName == "" && (advFrac >= 0 || advK >= 0) {
 		return PopulationSpec{}, fmt.Errorf("core: population params advfrac/advk need adv=<behavior>")
@@ -207,19 +176,14 @@ func ParsePopulation(spec string) (PopulationSpec, error) {
 	if advName != "" {
 		// Delegate to the adversary grammar so validation and defaults stay
 		// in one place.
-		ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
-		advSpec := advName
-		var ap []string
+		b := spec.NewBuilder(advName)
 		if advFrac >= 0 {
-			ap = append(ap, "frac="+ff(advFrac))
+			b.Float("frac", advFrac)
 		}
 		if advK >= 0 {
-			ap = append(ap, "k="+ff(advK))
+			b.Float("k", advK)
 		}
-		if len(ap) > 0 {
-			advSpec += ":" + strings.Join(ap, ",")
-		}
-		a, err := ParseAdversary(advSpec)
+		a, err := ParseAdversary(b.String())
 		if err != nil {
 			return PopulationSpec{}, err
 		}
@@ -259,15 +223,13 @@ func (s *PopulationSpec) normalise() error {
 // String renders the canonical spec string; ParsePopulation round-trips it
 // (Seed excepted — it is not part of the grammar).
 func (s PopulationSpec) String() string {
-	ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
-	parts := []string{
-		"n=" + strconv.Itoa(s.N),
-		"weak=" + ff(s.Weak), "medium=" + ff(s.Medium), "strong=" + ff(s.Strong),
-		"on=" + ff(s.MeanOn), "churn=" + ff(s.MeanOff),
-		"slow=" + ff(s.SlowFactor), "slowprob=" + ff(s.SlowProb),
-		"samples=" + strconv.Itoa(s.Samples), "classes=" + strconv.Itoa(s.Classes),
-		"data=" + s.Dataset,
-	}
+	b := spec.NewBuilder("mix").
+		Int("n", s.N).
+		Float("weak", s.Weak).Float("medium", s.Medium).Float("strong", s.Strong).
+		Float("on", s.MeanOn).Float("churn", s.MeanOff).
+		Float("slow", s.SlowFactor).Float("slowprob", s.SlowProb).
+		Int("samples", s.Samples).Int("classes", s.Classes).
+		Str("data", s.Dataset)
 	if a := s.Adversary; a.Enabled() {
 		// Single-behavior specs and the default mix round-trip; bespoke
 		// mix weights collapse to the default mix (grammar limitation).
@@ -281,9 +243,9 @@ func (s PopulationSpec) String() string {
 		if nonzero == 1 && a.Weights[single] == 1 {
 			name = behaviorNames[single]
 		}
-		parts = append(parts, "adv="+name, "advfrac="+ff(a.Frac), "advk="+ff(a.K))
+		b.Str("adv", name).Float("advfrac", a.Frac).Float("advk", a.K)
 	}
-	return "mix:" + strings.Join(parts, ",")
+	return b.String()
 }
 
 // Class salts for the spec's independent hash streams. sched.PopTrace owns

@@ -107,9 +107,9 @@ type Trainer interface {
 // RoundStarter is an optional Trainer capability: RoundStart is invoked
 // whenever the server hands the trainer a fresh global snapshot (once per
 // synchronous round; once per aggregation under the event engine), with
-// the snapshot's version. Trainers that cache per-snapshot derived state
-// — fednet's HTTPTrainer caches its decoded downlink references — hook
-// this to evict between snapshots.
+// the snapshot's version. Trainers that key derived state by snapshot
+// content (ArtifactTrainer implementations) don't need it; it remains for
+// trainers that cache per-version state with no content key to evict by.
 type RoundStarter interface {
 	RoundStart(version int)
 }
@@ -151,6 +151,11 @@ type Dispatch struct {
 	// Codec is the wire codec tag the dispatch moved through (empty when
 	// the trainer moved raw in-memory states).
 	Codec string
+	// DownPath classifies how the downlink artifact was served (obs.Down*
+	// label; empty when the server is not hashing snapshots). SentBytes
+	// stays the logical artifact size on every path — a not-modified
+	// dispatch still accounts the artifact it revalidated.
+	DownPath string
 	// SentBytes / GotBytes are real encoded payload sizes when the round
 	// moved models through a wire codec (0 otherwise). testbed.Sim
 	// prefers these over parameter-count estimates.
@@ -192,6 +197,12 @@ type RoundStats struct {
 	// Clipped counts merged updates whose delta was norm-clipped before
 	// aggregation (see Dispatch.Clipped).
 	Clipped int
+	// DownEncodedOnce / DownReserved / DownNotModified census the
+	// dispatches by downlink serving path (see Dispatch.DownPath; all zero
+	// when the server is not hashing snapshots). DownEncodedOnce bounds
+	// the encode CPU the aggregation cost its cohort: at most one per
+	// (member, codec) however large the cohort.
+	DownEncodedOnce, DownReserved, DownNotModified int
 }
 
 // Add appends d to the ledger and folds it into the round totals. Failed
@@ -203,6 +214,14 @@ func (st *RoundStats) Add(d Dispatch) {
 	st.Dispatches = append(st.Dispatches, d)
 	st.SentParams += d.Sent.Size
 	st.SentBytes += d.SentBytes
+	switch d.DownPath {
+	case obs.DownEncodedOnce:
+		st.DownEncodedOnce++
+	case obs.DownReserved:
+		st.DownReserved++
+	case obs.DownNotModified:
+		st.DownNotModified++
+	}
 	if d.TrainSkipped {
 		st.TrainSkipped++
 	}
@@ -250,6 +269,27 @@ type Server struct {
 	// in-flight dispatch anchors to the version it was cut from, which is
 	// what staleness-aware (semi-asynchronous) aggregation discounts by.
 	version int
+	// snap is the content hash (nn.HashState) of the current global
+	// snapshot — the first component of every downlink artifact key and
+	// the value the fednet ETag derives from. Recomputed once per commit
+	// (commitSnapshot), never per dispatch. Zero when hashOn is false.
+	snap uint64
+	// hashOn gates snapshot hashing and dispatch attribution: on whenever
+	// dispatches move through an encoding (an in-process codec or a custom
+	// trainer that does its own wire work). The raw in-memory path skips
+	// the hash — there is no artifact to address.
+	hashOn bool
+	// artifacts memoises the in-process codec's encoded dispatches across
+	// snapshots (nil without a codec; custom trainers hold their own
+	// store). One encode per (snapshot, member, codec), shared by every
+	// cohort client.
+	artifacts *wire.ArtifactStore
+	// downMembers / downClients attribute each dispatch's downlink serving
+	// path for the current snapshot (reset by commitSnapshot, mutated under
+	// mu by OpenFlight): downMembers marks members already encoded this
+	// snapshot, downClients marks (client, member) pairs already delivered.
+	downMembers map[int]bool
+	downClients map[downKey]bool
 	// inflight holds dispatches that have been issued but not yet released
 	// (collected, dropped, or cancelled), keyed by flight ID.
 	inflight map[int64]*Flight
@@ -334,8 +374,46 @@ func NewServerPopulation(cfg Config, pop Population) (*Server, error) {
 			op.SetObserver(cfg.Observer)
 		}
 	}
+	s.hashOn = cfg.Codec != nil || cfg.Trainer != nil
+	if cfg.Codec != nil {
+		s.artifacts = wire.NewArtifactStore(0)
+	}
+	s.commitSnapshot()
 	return s, nil
 }
+
+// downKey identifies one (client, member) delivery for dispatch
+// attribution within a snapshot.
+type downKey struct{ client, member int }
+
+// commitSnapshot re-anchors the dispatch layer to the current global
+// state: it hashes the snapshot once (every dispatch of this snapshot
+// reuses the hash in its artifact key) and resets the downlink
+// attribution maps, since a new snapshot means new artifacts. Called at
+// construction and after every ApplyUpdates/SyncGlobal version bump.
+func (s *Server) commitSnapshot() {
+	if !s.hashOn {
+		return
+	}
+	h := nn.HashState(s.global)
+	s.mu.Lock()
+	s.snap = h
+	s.downMembers = map[int]bool{}
+	s.downClients = map[downKey]bool{}
+	s.mu.Unlock()
+}
+
+// SnapshotHash returns the content hash of the current global snapshot
+// (zero when the server is not hashing — no codec and no custom trainer).
+func (s *Server) SnapshotHash() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Artifacts returns the in-process encode-once artifact store (nil
+// without a codec, or when a custom trainer owns the wire).
+func (s *Server) Artifacts() *wire.ArtifactStore { return s.artifacts }
 
 // observablePopulation is an optional Population capability: populations
 // with internal cache dynamics (the lazy LRU) report them to an observer.
@@ -470,6 +548,15 @@ type Flight struct {
 	// mutating it, so the reference stays valid (and bit-exact) for
 	// lazily executed flights that outlive later commits.
 	global nn.State
+	// snap is global's content hash, captured with it — the artifact key
+	// component for this dispatch (zero when the server is not hashing).
+	snap uint64
+	// downPath classifies how this dispatch's downlink artifact is served
+	// (obs.Down* label; empty when the server is not hashing): the first
+	// dispatch of a (snapshot, member) pays the encode, later dispatches
+	// to new clients re-serve the cached bytes, and a repeat to a client
+	// that already holds the artifact is a not-modified revalidation.
+	downPath string
 	// plan, when non-nil, is the pre-training forecast of the dispatch's
 	// ledger shape (Server.Plan).
 	plan *FlightPlan
@@ -538,7 +625,7 @@ func (f *Flight) Dispatch() Dispatch {
 		res = f.res
 	}
 	return Dispatch{Client: f.Slot.Client, Sent: f.Slot.Sent, Got: res.got,
-		Failed: res.failed, Codec: res.codec,
+		Failed: res.failed, Codec: res.codec, DownPath: f.downPath,
 		SentBytes: res.sentBytes, GotBytes: res.gotBytes,
 		GotBytesEst: res.gotBytesEst, TrainSkipped: res.skipped,
 		Rejected: res.rejected}
@@ -606,13 +693,12 @@ func (s *Server) PlanSlots(k int, eligible func(int) bool) []Slot {
 
 // RoundTrainer returns the Trainer that will execute the given slots: the
 // configured one if set, otherwise the in-process trainer. The in-process
-// trainer encodes each distinct dispatched pool member once up front:
-// stateless codecs are deterministic, so slots sharing a member would
-// otherwise repeat an identical full-model encode+decode each. Members
-// dispatched later (an event-driven scheduler cuts dispatches one at a
-// time) are encoded on first use and memoized the same way. The trainer
-// snapshots the current global weights, so build a fresh one after every
-// aggregation.
+// trainer serves every dispatch from the server's content-addressed
+// artifact store: each distinct (snapshot, member, codec) is encoded
+// exactly once — here for the planned slots, on first use for members
+// dispatched later — and the warm encode survives across trainers of the
+// same snapshot. The trainer captures the current snapshot (weights and
+// hash), so build a fresh one after every aggregation.
 func (s *Server) RoundTrainer(slots []Slot) (Trainer, error) {
 	if s.cfg.Trainer != nil {
 		if rs, ok := s.cfg.Trainer.(RoundStarter); ok {
@@ -620,27 +706,12 @@ func (s *Server) RoundTrainer(slots []Slot) (Trainer, error) {
 		}
 		return s.cfg.Trainer, nil
 	}
-	lt := localTrainer{s: s}
+	lt := localTrainer{s: s, snap: s.snap, global: s.global}
 	if s.cfg.Codec != nil {
-		lt.mu = &sync.Mutex{}
-		lt.pre = make(map[int]preDispatch)
 		for _, sl := range slots {
-			if _, ok := lt.pre[sl.Sent.Index]; ok {
-				continue
+			if _, err := lt.preFor(sl.Sent); err != nil {
+				return nil, err
 			}
-			st, err := s.pool.ExtractState(s.global, sl.Sent)
-			if err != nil {
-				return nil, fmt.Errorf("extract %s: %w", sl.Sent.Name(), err)
-			}
-			enc, err := s.cfg.Codec.Encode(st, nil)
-			if err != nil {
-				return nil, fmt.Errorf("encode %s: %w", sl.Sent.Name(), err)
-			}
-			dec, err := s.cfg.Codec.Decode(enc, nil)
-			if err != nil {
-				return nil, fmt.Errorf("decode %s: %w", sl.Sent.Name(), err)
-			}
-			lt.pre[sl.Sent.Index] = preDispatch{bytes: int64(len(enc)), state: dec}
 		}
 	}
 	return lt, nil
@@ -660,7 +731,25 @@ func (s *Server) OpenFlight(sl Slot) *Flight {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	f := &Flight{ID: s.nextID, Slot: sl, Version: s.version, global: s.global}
+	f := &Flight{ID: s.nextID, Slot: sl, Version: s.version, global: s.global, snap: s.snap}
+	if s.hashOn {
+		// Downlink attribution, decided where flight order is already
+		// deterministic (this method runs on the opener's goroutine under
+		// mu): the classification is a pure function of dispatch order, so
+		// it is identical across serial/parallel execution and across the
+		// in-process and HTTP transports.
+		dk := downKey{client: sl.Client, member: sl.Sent.Index}
+		switch {
+		case s.downClients[dk]:
+			f.downPath = obs.DownNotModified
+		case s.downMembers[sl.Sent.Index]:
+			f.downPath = obs.DownReserved
+		default:
+			f.downPath = obs.DownEncodedOnce
+			s.downMembers[sl.Sent.Index] = true
+		}
+		s.downClients[dk] = true
+	}
 	s.inflight[f.ID] = f
 	return f
 }
@@ -709,11 +798,11 @@ func (s *Server) Plan(trainer Trainer, f *Flight) (*FlightPlan, error) {
 	}
 	if s.cfg.Codec != nil {
 		pl.Codec = s.cfg.Codec.Tag()
-		pd, err := lt.preFor(f.Slot.Sent, f.global)
+		art, err := lt.preFor(f.Slot.Sent)
 		if err != nil {
 			return nil, err
 		}
-		pl.SentBytes = pd.bytes
+		pl.SentBytes = int64(len(art.Bytes))
 		if s.cfg.EstimateUpBytes && !pl.Failed {
 			// Forecast the uplink from the member the device will train:
 			// the flight becomes fully priceable at launch, at the cost of
@@ -950,6 +1039,7 @@ func (s *Server) FlightSpan(f *Flight, d Dispatch, oc Outcome) obs.Span {
 		Sent:         d.Sent.Name(),
 		Codec:        d.Codec,
 		DownBytes:    d.SentBytes,
+		DownPath:     d.DownPath,
 		UpBytes:      d.GotBytes,
 		UpBytesEst:   d.GotBytesEst,
 		TrainSkipped: d.TrainSkipped,
@@ -983,6 +1073,7 @@ func (s *Server) ApplyUpdates(updates []agg.Update) error {
 	}
 	s.global = next
 	s.version++
+	s.commitSnapshot()
 	return nil
 }
 
@@ -994,6 +1085,7 @@ func (s *Server) ApplyUpdates(updates []agg.Update) error {
 func (s *Server) SyncGlobal(st nn.State) {
 	s.global = st
 	s.version++
+	s.commitSnapshot()
 }
 
 // NextRound advances and returns the round counter (ledger numbering).
@@ -1100,6 +1192,17 @@ type FlightTrainer interface {
 	TrainFlight(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error)
 }
 
+// ArtifactTrainer is an optional Trainer capability: a trainer that
+// content-addresses its dispatches (fednet's encode-once downlink with
+// ETag revalidation) receives the flight's snapshot hash alongside the
+// flight ID, so its artifact keys agree with the server's dispatch
+// attribution. The hash is a cache key, never an input to training —
+// TrainArtifact must behave exactly like TrainDispatch for the same
+// dispatch arguments.
+type ArtifactTrainer interface {
+	TrainArtifact(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, snap uint64, seed int64) (TrainResult, error)
+}
+
 // trainSlot performs Step 4/5 for one dispatch, delegating to the given
 // Trainer (built once per round). The dispatch state comes from the
 // flight's captured snapshot, so lazily executed flights train on the
@@ -1116,9 +1219,12 @@ func (s *Server) trainSlot(trainer Trainer, f *Flight) localResult {
 	}
 	var res TrainResult
 	var err error
-	if ft, ok := trainer.(FlightTrainer); ok {
-		res, err = ft.TrainFlight(f.ID, clientID, sent, st, seed)
-	} else {
+	switch tr := trainer.(type) {
+	case ArtifactTrainer:
+		res, err = tr.TrainArtifact(f.ID, clientID, sent, st, f.snap, seed)
+	case FlightTrainer:
+		res, err = tr.TrainFlight(f.ID, clientID, sent, st, seed)
+	default:
 		res, err = trainer.TrainDispatch(clientID, sent, st, seed)
 	}
 	if err != nil {
@@ -1141,11 +1247,11 @@ func (s *Server) trainPlanned(lt localTrainer, f *Flight) localResult {
 	}
 	var sentState nn.State
 	if s.cfg.Codec != nil {
-		pd, err := lt.preFor(f.Slot.Sent, f.global)
+		art, err := lt.preFor(f.Slot.Sent)
 		if err != nil {
 			return localResult{err: err}
 		}
-		sentState = pd.state
+		sentState = art.State
 	} else {
 		var err error
 		if sentState, err = s.pool.ExtractState(f.global, f.Slot.Sent); err != nil {
@@ -1161,65 +1267,41 @@ func (s *Server) trainPlanned(lt localTrainer, f *Flight) localResult {
 		codec: pl.Codec, rejected: rejected}
 }
 
-// preDispatch is one pre-encoded dispatch: the wire size and the decoded
-// (possibly lossy) state the device-side training sees. The state is
-// shared read-only across the round's slots.
-type preDispatch struct {
-	bytes int64
-	state nn.State
-}
-
 // localTrainer is the default in-process Trainer: it reads the client's
 // device capacity, prunes to the largest derivable pool member, and trains
 // on the client's local shard.
 type localTrainer struct {
 	s *Server
-	// pre caches the codec round-trip of each dispatched pool member,
-	// keyed by member index (nil when no codec is configured): seeded up
-	// front for the planned slots and extended on first use for members
-	// dispatched later, under mu. The cache is only valid for one global
-	// snapshot — RoundTrainer's contract is a fresh trainer per
-	// aggregation.
-	mu  *sync.Mutex
-	pre map[int]preDispatch
+	// snap / global are the snapshot the trainer dispatches from, captured
+	// at build time: the hash keys the artifact store, the weights feed the
+	// extraction on a store miss. RoundTrainer's contract is a fresh
+	// trainer per aggregation, so both stay consistent for its lifetime.
+	snap   uint64
+	global nn.State
 }
 
-// PreDecodedFor implements preDecodedTrainer.
+// PreDecodedFor implements preDecodedTrainer: with a codec configured the
+// trainer always sources the dispatch state from the artifact store (it
+// can re-extract from its captured snapshot on a miss, even after an LRU
+// eviction), so a server-side extraction would be discarded unread.
 func (lt localTrainer) PreDecodedFor(memberIndex int) bool {
-	if lt.pre == nil {
-		return false
-	}
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	_, ok := lt.pre[memberIndex]
-	return ok
+	return lt.s.cfg.Codec != nil
 }
 
-// preFor returns the memoized codec round-trip for a pool member,
-// extracting from the given snapshot and encoding on first use. Only
-// valid with a codec configured.
-func (lt localTrainer) preFor(sub prune.Submodel, global nn.State) (preDispatch, error) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	if d, ok := lt.pre[sub.Index]; ok {
-		return d, nil
-	}
-	st, err := lt.s.pool.ExtractState(global, sub)
-	if err != nil {
-		return preDispatch{}, fmt.Errorf("extract %s: %w", sub.Name(), err)
-	}
+// preFor returns the dispatch artifact for a pool member from the
+// server's content-addressed store, extracting and encoding exactly once
+// per (snapshot, member, codec) across all trainers and dispatch workers.
+// Only valid with a codec configured.
+func (lt localTrainer) preFor(sub prune.Submodel) (*wire.Artifact, error) {
 	c := lt.s.cfg.Codec
-	enc, err := c.Encode(st, nil)
+	key := wire.ArtifactKey{Snapshot: lt.snap, Member: sub.Index, Codec: c.Tag()}
+	art, err := lt.s.artifacts.Get(key, c, func() (nn.State, error) {
+		return lt.s.pool.ExtractState(lt.global, sub)
+	})
 	if err != nil {
-		return preDispatch{}, fmt.Errorf("encode %s: %w", sub.Name(), err)
+		return nil, fmt.Errorf("dispatch %s: %w", sub.Name(), err)
 	}
-	dec, err := c.Decode(enc, nil)
-	if err != nil {
-		return preDispatch{}, fmt.Errorf("decode %s: %w", sub.Name(), err)
-	}
-	d := preDispatch{bytes: int64(len(enc)), state: dec}
-	lt.pre[sub.Index] = d
-	return d, nil
+	return art, nil
 }
 
 // applyBehavior transforms a client's trained state according to its
@@ -1285,35 +1367,20 @@ func (lt localTrainer) trainGot(clientID int, got prune.Submodel, sentState nn.S
 // TrainDispatch implements Trainer. With a codec configured, the dispatch
 // and upload both round-trip through the wire encoding so the in-process
 // run trains on — and aggregates — exactly what a networked device would
-// see, and the ledger carries the real encoded sizes.
+// see, and the ledger carries the real encoded sizes. The dispatch side
+// comes from the artifact store (sentState is ignored then — the server
+// skips the extraction via PreDecodedFor), so slots sharing a member
+// share one encode.
 func (lt localTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (TrainResult, error) {
 	var sentBytes int64
-	if c := lt.s.cfg.Codec; c != nil {
-		lt.mu.Lock()
-		d, ok := lt.pre[sent.Index]
-		if !ok {
-			// First dispatch of this member through this trainer: round-trip
-			// it once and memoize, so later dispatches of the same member
-			// (same global snapshot) reuse the work.
-			enc, err := c.Encode(sentState, nil)
-			if err != nil {
-				lt.mu.Unlock()
-				return TrainResult{}, err
-			}
-			dec, err := c.Decode(enc, nil)
-			if err != nil {
-				lt.mu.Unlock()
-				return TrainResult{}, err
-			}
-			d = preDispatch{bytes: int64(len(enc)), state: dec}
-			lt.pre[sent.Index] = d
-		}
-		lt.mu.Unlock()
-		sentBytes, sentState = d.bytes, d.state
-	}
 	var tag string
-	if lt.s.cfg.Codec != nil {
-		tag = lt.s.cfg.Codec.Tag()
+	if c := lt.s.cfg.Codec; c != nil {
+		art, err := lt.preFor(sent)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		sentBytes, sentState = int64(len(art.Bytes)), art.State
+		tag = c.Tag()
 	}
 	client := lt.s.pop.Client(clientID)
 	capacity := client.Device.Capacity()

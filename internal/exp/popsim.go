@@ -2,10 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
-	"math"
-	"sort"
 
 	"adaptivefl/internal/core"
 	"adaptivefl/internal/data"
@@ -48,26 +45,9 @@ type PopSimResult struct {
 
 // HashState fingerprints a state dict: FNV-64a over sorted tensor names
 // and raw float64 bits, so any single-bit weight divergence changes it.
-func HashState(st nn.State) uint64 {
-	names := make([]string, 0, len(st))
-	for k := range st {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, k := range names {
-		h.Write([]byte(k))
-		for _, v := range st[k].Data {
-			bits := math.Float64bits(v)
-			for i := 0; i < 8; i++ {
-				buf[i] = byte(bits >> (8 * i))
-			}
-			h.Write(buf[:])
-		}
-	}
-	return h.Sum64()
-}
+// It is nn.HashState, re-exported where the result tables historically
+// lived.
+func HashState(st nn.State) uint64 { return nn.HashState(st) }
 
 // popShardGen builds the lazy population's shard generator from the
 // spec's data-distribution family: a WriterSampler whose prototype bank

@@ -115,6 +115,110 @@ func TestEngineHTTPParityWithInProcess(t *testing.T) {
 	}
 }
 
+// TestNotModifiedDownlinkParity is the ETag contract's acceptance bar: a
+// run whose downlinks revalidate (bodyless not-modified dispatches served
+// from the agents' artifact caches) must be bit-identical — weights,
+// ledger, event log, commits — to the same run forced to resend every
+// full body (HTTPTrainer.FullDownlinks). Exercised across all four
+// scheduling policies; the delta codec rides along in full mode to cover
+// the uplink-reference interaction (both sides must diff against the
+// artifact's decoded state whether or not its body crossed again).
+func TestNotModifiedDownlinkParity(t *testing.T) {
+	mcfg := testModelCfg()
+	pcfg := prune.Config{P: 3}
+
+	codecs := []wire.Codec{wire.Q8{}}
+	if !testing.Short() {
+		codecs = append(codecs, wire.NewDeltaTopK())
+	}
+	// The semiasync case pins the whole population in flight with a deep
+	// aggregation buffer, so returning clients are re-dispatched before the
+	// snapshot moves — the config that actually exercises revalidation.
+	cases := []struct {
+		policy          sched.Policy
+		clients, buffer int
+		commits         int
+	}{
+		{sched.Sync, 5, 0, 2},
+		{sched.Deadline, 5, 0, 2},
+		{sched.DeadlineReuse, 5, 0, 2},
+		{sched.SemiAsync, 3, 3, 3},
+	}
+	revalidated := 0
+	for _, codec := range codecs {
+		for _, tc := range cases {
+			t.Run(string(tc.policy)+"/"+codec.Tag(), func(t *testing.T) {
+				run := func(fullDownlinks bool) (map[string]float64, []core.RoundStats, []string, []sched.Commit) {
+					clients := buildClients(t, tc.clients)
+					cluster, err := NewCluster(clients, mcfg, pcfg, quickTrain())
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer cluster.Close()
+					cluster.Trainer.Codec = codec
+					cluster.Trainer.FullDownlinks = fullDownlinks
+					srv, err := core.NewServer(core.Config{
+						Model: mcfg, Pool: pcfg, ClientsPerRound: 3,
+						Train: quickTrain(), Seed: 63, Trainer: cluster.Trainer,
+					}, clients)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sim, err := testbed.NewSim(testbed.Table5Platform())
+					if err != nil {
+						t.Fatal(err)
+					}
+					weak := func(c int) bool { return clients[c].Device.Class == core.Weak }
+					trace := &sched.RandomTrace{
+						Seed: 909, MeanOn: 1e9,
+						SlowProb: 1, SlowFactor: 10, SlowOnly: weak,
+					}
+					eng, err := sched.New(srv, sim, trace, sched.Config{
+						Policy: tc.policy, K: 3, Extra: 1, Buffer: tc.buffer, Epochs: 1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := eng.Run(tc.commits, nil); err != nil {
+						t.Fatal(err)
+					}
+					sums := map[string]float64{}
+					for name, v := range srv.Global() {
+						sums[name] = v.Sum()
+					}
+					return sums, srv.Stats(), eng.Log(), eng.Commits()
+				}
+
+				fullSums, fullStats, fullLog, fullCommits := run(true)
+				revSums, revStats, revLog, revCommits := run(false)
+
+				if !reflect.DeepEqual(fullSums, revSums) {
+					t.Fatal("global weights differ between full-body and revalidating runs")
+				}
+				if !reflect.DeepEqual(fullLog, revLog) {
+					t.Fatalf("event logs differ:\nfull: %s\nreval: %s",
+						strings.Join(fullLog, "\n      "), strings.Join(revLog, "\n       "))
+				}
+				if !reflect.DeepEqual(fullStats, revStats) {
+					t.Fatalf("ledgers differ:\nfull  %+v\nreval %+v", fullStats, revStats)
+				}
+				if !reflect.DeepEqual(fullCommits, revCommits) {
+					t.Fatalf("commits differ:\nfull  %+v\nreval %+v", fullCommits, revCommits)
+				}
+				for _, st := range revStats {
+					revalidated += st.DownNotModified
+				}
+			})
+		}
+	}
+	// The parity is only meaningful if some dispatch actually rode the
+	// not-modified path (the server's attribution is deterministic, so
+	// this is stable across machines).
+	if revalidated == 0 {
+		t.Fatal("no configuration produced a not-modified dispatch — the revalidation path was not exercised")
+	}
+}
+
 // TestClusterAgentRestartUnderEngine drives the re-negotiation path
 // through the event engine: an agent that restarts mid-run with a smaller
 // codec set must be re-negotiated transparently (415 → renegotiate →

@@ -16,7 +16,6 @@ package fednet
 
 import (
 	"bytes"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +54,17 @@ const FlightHeader = "Fednet-Flight"
 // ServeHTTP maps it to 415 so the trainer can re-negotiate and retry.
 var errCodecNotAccepted = errors.New("codec not accepted")
 
+// errArtifactNotHeld marks a conditional (not-modified) dispatch whose
+// ETag the agent no longer holds; ServeHTTP maps it to 412 so the trainer
+// forgets the stale delivery and resends the full body.
+var errArtifactNotHeld = errors.New("artifact not held")
+
+// agentArtifactCap bounds each agent's decoded-artifact cache (and the
+// trainer's per-client mirror of it): an agent rarely holds more than one
+// live snapshot's worth of widths, so a few entries cover the live
+// artifact plus a stale in-flight tail.
+const agentArtifactCap = 4
+
 // instanceCounter makes agent instance IDs unique within a process; the
 // random prefix distinguishes processes (an agent restart usually is a new
 // process, but tests restart in-process).
@@ -67,8 +77,20 @@ type TrainRequest struct {
 	// Codec tags the encoding of State (and of the expected upload).
 	// Empty means raw, the pre-codec persist v1 format.
 	Codec string `json:"codec,omitempty"`
-	// State is the codec-encoded weight slice of the dispatched model.
+	// State is the codec-encoded weight slice of the dispatched model
+	// (empty on a NotModified dispatch — the agent already holds it).
 	State []byte `json:"state"`
+	// ETag content-addresses the dispatched artifact (the encoded form of
+	// wire.ArtifactKey: global-snapshot hash, member, codec). The agent
+	// caches its decode of State under this tag; empty on dispatches from
+	// a trainer without snapshot hashing.
+	ETag string `json:"etag,omitempty"`
+	// NotModified makes the dispatch a revalidation: State is empty and
+	// the agent must train on its cached decode of ETag. An agent that no
+	// longer holds the tag answers 412 and the trainer falls back to a
+	// full-body dispatch. The conditional request also carries ETag as an
+	// If-None-Match header, so the skip is visible at the HTTP layer.
+	NotModified bool `json:"not_modified,omitempty"`
 	// Train carries the local hyperparameters.
 	Train core.TrainConfig `json:"train"`
 	// Seed makes local training reproducible.
@@ -139,6 +161,49 @@ type Agent struct {
 	// ef holds this agent's residual streams, one per codec tag.
 	efMu sync.Mutex
 	ef   map[string]*wire.ErrorFeedback
+	// arts is the decoded-artifact cache (FIFO, agentArtifactCap entries,
+	// newest last): the agent's side of the ETag contract. Entries are the
+	// agent's decode of a full-body dispatch, keyed by its ETag, and are
+	// trained on read-only — a NotModified revalidation trains the cached
+	// state without re-downloading or re-decoding anything.
+	artMu sync.Mutex
+	arts  []agentArtifact
+}
+
+// agentArtifact is one cached decoded dispatch.
+type agentArtifact struct {
+	etag  string
+	state nn.State
+}
+
+// holdArtifact caches the decoded state under its ETag, mirroring the
+// trainer's per-client bookkeeping: re-held tags move to newest, and the
+// oldest entry beyond agentArtifactCap is evicted.
+func (a *Agent) holdArtifact(etag string, st nn.State) {
+	a.artMu.Lock()
+	defer a.artMu.Unlock()
+	for i, e := range a.arts {
+		if e.etag == etag {
+			a.arts = append(a.arts[:i], a.arts[i+1:]...)
+			break
+		}
+	}
+	a.arts = append(a.arts, agentArtifact{etag: etag, state: st})
+	if len(a.arts) > agentArtifactCap {
+		a.arts = a.arts[1:]
+	}
+}
+
+// heldArtifact returns the cached decode for an ETag, if still held.
+func (a *Agent) heldArtifact(etag string) (nn.State, bool) {
+	a.artMu.Lock()
+	defer a.artMu.Unlock()
+	for _, e := range a.arts {
+		if e.etag == etag {
+			return e.state, true
+		}
+	}
+	return nil, false
 }
 
 // NewAgent builds a device agent. The pool is rebuilt from the model and
@@ -308,6 +373,13 @@ func (a *Agent) serveTrain(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
 			return
 		}
+		// A revalidation for an artifact this agent no longer holds is a
+		// cache-coherence problem, not a server error: 412 tells the
+		// trainer to forget the delivery and resend the full body.
+		if errors.Is(err, errArtifactNotHeld) {
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -336,9 +408,25 @@ func (a *Agent) Train(req TrainRequest) (TrainResponse, error) {
 	if !ok {
 		return TrainResponse{Failed: true}, nil
 	}
-	st, err := codec.Decode(req.State, nil)
-	if err != nil {
-		return TrainResponse{}, fmt.Errorf("fednet: decode dispatched state: %w", err)
+	var st nn.State
+	if req.NotModified {
+		// Revalidation: no body crossed the wire; train on the cached
+		// decode of the tagged artifact. Refusing with errArtifactNotHeld
+		// (→ 412) when the tag was evicted lets the trainer recover with a
+		// full-body resend instead of failing the flight.
+		st, ok = a.heldArtifact(req.ETag)
+		if !ok {
+			return TrainResponse{}, fmt.Errorf("fednet: etag %s %w", req.ETag, errArtifactNotHeld)
+		}
+	} else {
+		var err error
+		st, err = codec.Decode(req.State, nil)
+		if err != nil {
+			return TrainResponse{}, fmt.Errorf("fednet: decode dispatched state: %w", err)
+		}
+		if req.ETag != "" {
+			a.holdArtifact(req.ETag, st)
+		}
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
 	trained, err := core.TrainLocal(a.Model, got.Widths, st, a.Client.Data, req.Train, rng)
@@ -404,6 +492,13 @@ type HTTPTrainer struct {
 	// TrainFlight. Like Metrics, it observes wall time only and never
 	// perturbs virtual-time determinism.
 	Wall *obs.JSONLWriter
+	// FullDownlinks disables If-None-Match revalidation: every dispatch
+	// carries the full encoded body even when the agent should already
+	// hold the artifact. The artifact store still serves the bytes
+	// (encode-once is unaffected); only the bodyless skip is suppressed.
+	// Parity and debugging knob — a full-body run must be bit-identical
+	// to a revalidating one. Set before training starts.
+	FullDownlinks bool
 
 	// mu guards the negotiation state below; dispatches to different
 	// clients run concurrently and may re-negotiate mid-round.
@@ -416,61 +511,82 @@ type HTTPTrainer struct {
 	// instances remembers each agent's instance ID; a changed ID means the
 	// agent restarted and its negotiation may be stale.
 	instances map[int]string
-	// refCache memoizes decoded downlink references, keyed by codec tag +
-	// payload digest. Reference-using uploads (delta) diff against the
-	// agent's decode of the dispatch, which the server reconstructs by
-	// decoding the same payload — once per dispatch before this cache,
-	// even though every dispatch of a pool member within one global
-	// snapshot carries identical bytes. Content addressing makes a stale
-	// hit impossible no matter how the trainer is driven; RoundStart
-	// (core.RoundStarter) clears the map at each new snapshot so it stays
-	// one round's members big.
-	refCache map[refKey]nn.State
-	// refVersion is the snapshot version refCache was built against.
-	refVersion int
+	// artifacts is the encode-once store for downlink dispatches, keyed by
+	// (snapshot hash, member, codec): every dispatch of a member within one
+	// snapshot serves the same cached bytes, and the artifact's decoded
+	// state doubles as the uplink reference for delta uploads — content
+	// addressing makes a stale hit impossible no matter how the trainer is
+	// driven, with no per-round eviction hook needed.
+	artifacts *wire.ArtifactStore
+	// delivered mirrors, per client, the FIFO of artifact ETags the agent's
+	// cache should hold (newest last, agentArtifactCap deep): a dispatch
+	// whose tag is mirrored here goes out as a bodyless If-None-Match
+	// revalidation. The mirror is a belief, not a guarantee — an agent
+	// answers 412 when it has lost the tag (restart, shared agent), and the
+	// trainer forgets the delivery and resends the full body.
+	delivered map[int][]string
 }
 
-// refKey addresses one decoded downlink reference by codec and payload
-// content.
-type refKey struct {
-	tag    string
-	digest [sha256.Size]byte
-}
-
-// RoundStart implements core.RoundStarter: the server announces the
-// snapshot a round trains from, so cached downlink references are
-// evicted when — and only when — the snapshot actually changed (a round
-// that merged nothing keeps its version, and its payloads stay hot).
-func (t *HTTPTrainer) RoundStart(version int) {
+// artStore returns the trainer's artifact store, creating it on first
+// use so zero-value trainers (tests build them as literals) work.
+func (t *HTTPTrainer) artStore() *wire.ArtifactStore {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if version != t.refVersion {
-		t.refCache = nil
-		t.refVersion = version
+	if t.artifacts == nil {
+		t.artifacts = wire.NewArtifactStore(0)
 	}
+	return t.artifacts
 }
 
-// downRef returns the decoded reference for an encoded downlink payload,
-// decoding on first use per (codec, payload) within the current round.
-func (t *HTTPTrainer) downRef(codec wire.Codec, down []byte) (nn.State, error) {
-	key := refKey{tag: codec.Tag(), digest: sha256.Sum256(down)}
+// Artifacts exposes the downlink artifact store (for tests and stats).
+func (t *HTTPTrainer) Artifacts() *wire.ArtifactStore { return t.artStore() }
+
+// deliveredHas reports whether the agent for clientID is believed to
+// hold the artifact.
+func (t *HTTPTrainer) deliveredHas(clientID int, etag string) bool {
 	t.mu.Lock()
-	ref, ok := t.refCache[key]
-	t.mu.Unlock()
-	if ok {
-		return ref, nil
+	defer t.mu.Unlock()
+	for _, e := range t.delivered[clientID] {
+		if e == etag {
+			return true
+		}
 	}
-	ref, err := codec.Decode(down, nil)
-	if err != nil {
-		return nil, err
-	}
+	return false
+}
+
+// markDelivered records a full-body delivery, mirroring the agent's FIFO
+// eviction exactly (see Agent.holdArtifact).
+func (t *HTTPTrainer) markDelivered(clientID int, etag string) {
 	t.mu.Lock()
-	if t.refCache == nil {
-		t.refCache = map[refKey]nn.State{}
+	defer t.mu.Unlock()
+	if t.delivered == nil {
+		t.delivered = map[int][]string{}
 	}
-	t.refCache[key] = ref
-	t.mu.Unlock()
-	return ref, nil
+	held := t.delivered[clientID]
+	for i, e := range held {
+		if e == etag {
+			held = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	held = append(held, etag)
+	if len(held) > agentArtifactCap {
+		held = held[1:]
+	}
+	t.delivered[clientID] = held
+}
+
+// forgetDelivered drops one mirrored delivery (the agent answered 412).
+func (t *HTTPTrainer) forgetDelivered(clientID int, etag string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	held := t.delivered[clientID]
+	for i, e := range held {
+		if e == etag {
+			t.delivered[clientID] = append(held[:i], held[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewHTTPTrainer builds a trainer for the given agent endpoints.
@@ -548,6 +664,10 @@ func (t *HTTPTrainer) negotiateClient(id int) {
 	}
 	t.perClient[id] = chosen
 	t.instances[id] = instance
+	// A (re-)negotiated agent is treated as a fresh cache: anything we
+	// believed delivered may be gone (restart), so fall back to full
+	// bodies until deliveries are re-observed.
+	delete(t.delivered, id)
 }
 
 // noteInstance records the instance ID seen on a response and reports
@@ -571,7 +691,7 @@ func (t *HTTPTrainer) noteInstance(clientID int, instance string) (restarted boo
 // negotiated encoding), the trainer re-negotiates that one client and
 // retries the dispatch once with the freshly agreed codec.
 func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
-	return t.TrainFlight(0, clientID, sent, sentState, seed)
+	return t.TrainArtifact(0, clientID, sent, sentState, 0, seed)
 }
 
 // TrainFlight implements core.FlightTrainer: identical to TrainDispatch,
@@ -579,28 +699,58 @@ func (t *HTTPTrainer) TrainDispatch(clientID int, sent prune.Submodel, sentState
 // agent-side wall records correlate with the deterministic flight span.
 // flightID 0 means "no flight" and omits the header.
 func (t *HTTPTrainer) TrainFlight(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, error) {
+	return t.TrainArtifact(flightID, clientID, sent, sentState, 0, seed)
+}
+
+// TrainArtifact implements core.ArtifactTrainer: the server passes the
+// snapshot hash its dispatch attribution used, so the trainer's artifact
+// keys (and ETags) agree with the ledger's encode-once accounting. snap 0
+// (a bare TrainDispatch) falls back to hashing the dispatched state —
+// still a sound content address, since extraction is deterministic.
+func (t *HTTPTrainer) TrainArtifact(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, snap uint64, seed int64) (core.TrainResult, error) {
 	if clientID < 0 || clientID >= len(t.URLs) {
 		return core.TrainResult{}, fmt.Errorf("fednet: no agent URL for client %d", clientID)
 	}
-	res, status, err := t.dispatchOnce(flightID, clientID, sent, sentState, seed)
+	if snap == 0 {
+		snap = nn.HashState(sentState)
+	}
+	res, status, err := t.dispatchOnce(flightID, clientID, sent, sentState, snap, seed, true)
+	if status == http.StatusPreconditionFailed {
+		// The agent lost the artifact we believed delivered (dispatchOnce
+		// already forgot the mirror entry): resend with the full body.
+		res, status, err = t.dispatchOnce(flightID, clientID, sent, sentState, snap, seed, false)
+	}
 	if status == http.StatusUnsupportedMediaType {
 		t.negotiateClient(clientID)
-		res, _, err = t.dispatchOnce(flightID, clientID, sent, sentState, seed)
+		res, _, err = t.dispatchOnce(flightID, clientID, sent, sentState, snap, seed, true)
 	}
 	return res, err
 }
 
 // dispatchOnce performs one POST round trip with the currently negotiated
-// codec, returning the HTTP status for the retry decision.
-func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, seed int64) (core.TrainResult, int, error) {
+// codec, returning the HTTP status for the retry decision. The downlink
+// body comes from the artifact store — one encode per (snapshot, member,
+// codec), shared by every client — and goes out bodyless (If-None-Match)
+// when allowCond is set and the client is believed to hold the artifact.
+func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Submodel, sentState nn.State, snap uint64, seed int64, allowCond bool) (core.TrainResult, int, error) {
 	codec := t.codecFor(clientID)
-	down, err := codec.Encode(sentState, nil)
+	key := wire.ArtifactKey{Snapshot: snap, Member: sent.Index, Codec: codec.Tag()}
+	art, err := t.artStore().Get(key, codec, func() (nn.State, error) { return sentState, nil })
 	if err != nil {
 		return core.TrainResult{}, 0, err
 	}
-	reqBody, err := json.Marshal(TrainRequest{
-		SentIndex: sent.Index, Codec: codec.Tag(), State: down, Train: t.Train, Seed: seed,
-	})
+	etag := key.ETag()
+	conditional := allowCond && !t.FullDownlinks && t.deliveredHas(clientID, etag)
+	treq := TrainRequest{
+		SentIndex: sent.Index, Codec: codec.Tag(), ETag: etag,
+		Train: t.Train, Seed: seed,
+	}
+	if conditional {
+		treq.NotModified = true
+	} else {
+		treq.State = art.Bytes
+	}
+	reqBody, err := json.Marshal(treq)
 	if err != nil {
 		return core.TrainResult{}, 0, err
 	}
@@ -609,6 +759,9 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 		return core.TrainResult{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if conditional {
+		req.Header.Set("If-None-Match", etag)
+	}
 	if flightID > 0 {
 		req.Header.Set(FlightHeader, strconv.FormatInt(flightID, 10))
 	}
@@ -639,6 +792,11 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 		}()
 	}
 	if httpResp.StatusCode != http.StatusOK {
+		if httpResp.StatusCode == http.StatusPreconditionFailed {
+			// The agent no longer holds the artifact we revalidated: the
+			// mirror was stale. Forget it; the caller resends the body.
+			t.forgetDelivered(clientID, etag)
+		}
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1024))
 		return core.TrainResult{}, httpResp.StatusCode,
 			fmt.Errorf("fednet: client %d returned %s: %s", clientID, httpResp.Status, msg)
@@ -654,9 +812,20 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return core.TrainResult{}, httpResp.StatusCode, err
 	}
-	sentBytes := int64(len(down))
+	// SentBytes is the LOGICAL artifact size on every path: a not-modified
+	// dispatch accounts the artifact it revalidated, so the ledger (and
+	// everything derived from it) is bit-identical whether or not the body
+	// was actually skipped. The skip shows up in the span's DownPath and
+	// the fl_down_bytes_total{path=...} split, not in the sizes.
+	sentBytes := int64(len(art.Bytes))
 	if resp.Failed {
 		return core.TrainResult{Failed: true, SentBytes: sentBytes, CodecTag: codec.Tag()}, httpResp.StatusCode, nil
+	}
+	if !conditional {
+		// The agent decoded and cached the full-body artifact: mirror the
+		// hold (revalidations leave the agent's FIFO order untouched, so
+		// they leave the mirror untouched too).
+		t.markDelivered(clientID, etag)
 	}
 	// From here on the envelope is well-formed HTTP+JSON from a live agent:
 	// anything wrong with its *content* — a member index outside the pool,
@@ -681,12 +850,10 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 	}
 	var ref nn.State
 	if upCodec.UsesRef() {
-		// Reconstruct the agent's reference — its decode of the dispatch —
-		// memoized per payload for the current round. This decodes our own
-		// encoding, so a failure is a server-side bug: keep it a hard error.
-		if ref, err = t.downRef(codec, down); err != nil {
-			return core.TrainResult{}, httpResp.StatusCode, err
-		}
+		// The agent diffed against its decode of the dispatched artifact —
+		// exactly the artifact's cached round-trip state, with no extra
+		// decode on either side.
+		ref = art.State
 	}
 	st, err := upCodec.Decode(resp.State, ref)
 	if err != nil {
@@ -706,5 +873,5 @@ func (t *HTTPTrainer) dispatchOnce(flightID int64, clientID int, sent prune.Subm
 }
 
 var _ core.Trainer = (*HTTPTrainer)(nil)
-var _ core.RoundStarter = (*HTTPTrainer)(nil)
 var _ core.FlightTrainer = (*HTTPTrainer)(nil)
+var _ core.ArtifactTrainer = (*HTTPTrainer)(nil)

@@ -2,7 +2,9 @@ package fednet
 
 import (
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -353,11 +355,12 @@ func (c countingCodec) Decode(b []byte, ref nn.State) (nn.State, error) {
 	return c.Codec.Decode(b, ref)
 }
 
-// TestDownlinkRefCachedPerRound pins the RoundStart hook: with a
-// reference-using codec (delta), the trainer reconstructs the agent's
-// decode of the dispatch to resolve sparse uploads. Within one round the
-// decode must happen once per distinct payload, however many dispatches
-// carry it; a new round (new global snapshot) decodes afresh.
+// TestDownlinkRefCachedPerRound pins the artifact store behind the
+// downlink: with a reference-using codec (delta), repeated dispatches of
+// one member within one snapshot encode and decode the payload exactly
+// once (the artifact's round-trip), later dispatches revalidate bodyless
+// via If-None-Match, and a changed snapshot keys — and pays for — a fresh
+// artifact.
 func TestDownlinkRefCachedPerRound(t *testing.T) {
 	mcfg := testModelCfg()
 	clients := buildClients(t, 1)
@@ -366,7 +369,16 @@ func TestDownlinkRefCachedPerRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(agent)
+	var mu sync.Mutex
+	var postLens []int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			mu.Lock()
+			postLens = append(postLens, r.ContentLength)
+			mu.Unlock()
+		}
+		agent.ServeHTTP(w, r)
+	}))
 	defer ts.Close()
 
 	pool := agent.Pool
@@ -384,20 +396,44 @@ func TestDownlinkRefCachedPerRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.RoundStart(0)
 	for i := 0; i < 3; i++ {
 		if _, err := tr.TrainDispatch(0, sent, st, int64(100+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := atomic.LoadInt32(&decodes); got != 1 {
-		t.Fatalf("round decoded the downlink reference %d times, want 1", got)
+		t.Fatalf("snapshot decoded the downlink artifact %d times, want 1", got)
 	}
-	tr.RoundStart(1)
-	if _, err := tr.TrainDispatch(0, sent, st, 200); err != nil {
+	if enc := tr.Artifacts().Encodes(); enc != 1 {
+		t.Fatalf("store encoded %d artifacts, want 1", enc)
+	}
+	// Dispatches 2 and 3 must have revalidated: bodyless conditionals, a
+	// fraction of the full dispatch.
+	mu.Lock()
+	lens := append([]int64(nil), postLens...)
+	mu.Unlock()
+	if len(lens) != 3 {
+		t.Fatalf("agent saw %d POSTs, want 3", len(lens))
+	}
+	for i, n := range lens[1:] {
+		if n >= lens[0]/2 {
+			t.Fatalf("dispatch %d not revalidated: %d bytes vs %d full", i+2, n, lens[0])
+		}
+	}
+	// A new snapshot (any weight change) is a new content address: the
+	// next dispatch encodes afresh and carries a full body again.
+	st2 := st.Clone()
+	for _, ten := range st2 {
+		ten.Data[0] += 0.5
+		break
+	}
+	if _, err := tr.TrainDispatch(0, sent, st2, 200); err != nil {
 		t.Fatal(err)
 	}
 	if got := atomic.LoadInt32(&decodes); got != 2 {
-		t.Fatalf("after RoundStart the reference was not re-decoded (total %d decodes, want 2)", got)
+		t.Fatalf("new snapshot did not re-decode (total %d decodes, want 2)", got)
+	}
+	if enc := tr.Artifacts().Encodes(); enc != 2 {
+		t.Fatalf("store encoded %d artifacts after snapshot change, want 2", enc)
 	}
 }

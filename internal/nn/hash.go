@@ -1,0 +1,32 @@
+package nn
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// HashState fingerprints a state dict: FNV-64a over sorted tensor names
+// and raw float64 bits, so any single-bit weight divergence changes it.
+// The hash content-addresses global snapshots (wire.ArtifactKey) and
+// fingerprints run results; it is not cryptographic.
+func HashState(st State) uint64 {
+	names := make([]string, 0, len(st))
+	for k := range st {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range names {
+		h.Write([]byte(k))
+		for _, v := range st[k].Data {
+			bits := math.Float64bits(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}

@@ -45,6 +45,7 @@ type Auditor struct {
 	dropped, failed, trainSkipped      int64
 	rejected, clipped                  int64
 	down, up, upEst                    int64
+	downOnce, downReserved, downNotMod int64
 	discountSum                        float64
 	globalVersion                      int
 	globalArrives, globalMergedSum     int64
@@ -135,6 +136,20 @@ func (a *Auditor) Add(sp obs.Span) {
 func (a *Auditor) addFlight(sp obs.Span) {
 	a.flights++
 	a.down += sp.DownBytes
+	// Serving-path census. An empty path means the run had no artifact
+	// store (every dispatch paid its own encode); the ledger records all
+	// zeros there, so only labelled spans count.
+	switch sp.DownPath {
+	case obs.DownEncodedOnce:
+		a.downOnce++
+	case obs.DownReserved:
+		a.downReserved++
+	case obs.DownNotModified:
+		a.downNotMod++
+	case "":
+	default:
+		a.violatef("flight %d client %d: unknown down path %q", sp.Flight, sp.Client, sp.DownPath)
+	}
 	if sp.TrainSkipped {
 		a.trainSkipped++
 	}
@@ -261,6 +276,9 @@ func (a *Auditor) Finish() []string {
 	checkInt("rejected", a.rejected, int64(l.Rejected))
 	checkInt("clipped", a.clipped, int64(l.Clipped))
 	checkInt("train-skipped", a.trainSkipped, int64(l.TrainSkipped))
+	checkInt("down encoded-once", a.downOnce, int64(l.DownEncodedOnce))
+	checkInt("down re-served", a.downReserved, int64(l.DownReserved))
+	checkInt("down not-modified", a.downNotMod, int64(l.DownNotModified))
 	checkInt("sent bytes", a.down, l.SentBytes)
 	checkInt("returned bytes", a.up, l.ReturnedBytes)
 	checkInt("returned bytes est", a.upEst, l.ReturnedBytesEst)

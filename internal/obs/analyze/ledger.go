@@ -47,6 +47,14 @@ type LedgerSummary struct {
 	Rejected int `json:"rejected,omitempty"`
 	Clipped  int `json:"clipped,omitempty"`
 
+	// Downlink serving-path census (core.RoundStats semantics: all zero
+	// when the run had no artifact store; every dispatch then paid its own
+	// encode). DownEncodedOnce is the number of dispatches that actually
+	// ran a codec encode — flat in cohort size under the encode-once store.
+	DownEncodedOnce int `json:"down_encoded_once,omitempty"`
+	DownReserved    int `json:"down_reserved,omitempty"`
+	DownNotModified int `json:"down_not_modified,omitempty"`
+
 	// Wire and parameter totals (core.RoundStats semantics: failed and
 	// dropped dispatches return nothing; estimates count only beside an
 	// actual payload).
@@ -89,6 +97,9 @@ func SummarizeStats(stats []core.RoundStats) LedgerSummary {
 		s.ReturnedBytesEst += st.ReturnedBytesEst
 		s.SentParams += st.SentParams
 		s.ReturnedParams += st.ReturnedParams
+		s.DownEncodedOnce += st.DownEncodedOnce
+		s.DownReserved += st.DownReserved
+		s.DownNotModified += st.DownNotModified
 		for _, d := range st.Dispatches {
 			switch {
 			case d.Dropped:
@@ -126,6 +137,9 @@ func (s *LedgerSummary) AddStats(stats []core.RoundStats) {
 	s.Rejected += o.Rejected
 	s.Clipped += o.Clipped
 	s.TrainSkipped += o.TrainSkipped
+	s.DownEncodedOnce += o.DownEncodedOnce
+	s.DownReserved += o.DownReserved
+	s.DownNotModified += o.DownNotModified
 	s.SentBytes += o.SentBytes
 	s.ReturnedBytes += o.ReturnedBytes
 	s.ReturnedBytesEst += o.ReturnedBytesEst

@@ -130,6 +130,7 @@ type Summary struct {
 
 	down, up, upEst          int64
 	wastedDown, wastedUp     int64
+	downPaths                map[string]int64 // flights by serving path (empty path omitted)
 	trainSkipped             int64
 	downSum, trainSum, upSum float64 // phase sums over flights with full phase info
 	phased                   int64
@@ -167,6 +168,7 @@ func NewSummary() *Summary {
 	return &Summary{
 		kinds:       map[string]int64{},
 		outcomes:    map[string]int64{},
+		downPaths:   map[string]int64{},
 		byWidth:     map[string]*byteAgg{},
 		byCodec:     map[string]*byteAgg{},
 		byOutcome:   map[string]*byteAgg{},
@@ -242,6 +244,9 @@ func (s *Summary) addFlight(sp obs.Span) {
 	s.down += sp.DownBytes
 	s.up += sp.UpBytes
 	s.upEst += sp.UpBytesEst
+	if sp.DownPath != "" {
+		s.downPaths[sp.DownPath]++
+	}
 	if sp.TrainSkipped {
 		s.trainSkipped++
 	}
@@ -411,6 +416,18 @@ func (s *Summary) Write(w io.Writer, topClients int) {
 	}
 	if s.upEst > 0 && s.up > 0 {
 		fmt.Fprintf(w, "estimate error (est-actual) %d\n", s.upEst-s.up)
+	}
+	if len(s.downPaths) > 0 {
+		// Down bytes are the logical artifact size on every path; only
+		// encoded-once dispatches paid a codec encode, and not-modified
+		// ones moved no body at all.
+		fmt.Fprintf(w, "downlink serving:")
+		for _, p := range []string{obs.DownEncodedOnce, obs.DownReserved, obs.DownNotModified} {
+			if n := s.downPaths[p]; n > 0 {
+				fmt.Fprintf(w, "  %s %d", p, n)
+			}
+		}
+		fmt.Fprintf(w, "\n")
 	}
 
 	writeAggTable(w, "by outcome", "outcome", s.byOutcome)

@@ -151,7 +151,7 @@ type Metrics struct {
 	// Span-fed (deterministic content, scrape-time ordering).
 	Flights        *counterVec // fl_flights_total{outcome=...}
 	TrainSkipped   Counter     // fl_flights_train_skipped_total
-	DownBytes      Counter     // fl_down_bytes_total
+	DownBytes      *counterVec // fl_down_bytes_total{path=...}
 	UpBytes        Counter     // fl_up_bytes_total
 	UpBytesEst     Counter     // fl_up_bytes_est_total
 	Commits        *counterVec // fl_commits_total{kind=...}
@@ -180,6 +180,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		Flights:       newCounterVec(),
+		DownBytes:     newCounterVec(),
 		Commits:       newCounterVec(),
 		Staleness:     NewHistogram(stalenessBuckets...),
 		Reward:        NewHistogram(rewardBuckets...),
@@ -199,7 +200,11 @@ func (m *Metrics) applySpan(s Span) {
 		if s.TrainSkipped {
 			m.TrainSkipped.Inc()
 		}
-		m.DownBytes.Add(s.DownBytes)
+		path := s.DownPath
+		if path == "" {
+			path = DownEncodedOnce
+		}
+		m.DownBytes.with(path).Add(s.DownBytes)
 		m.UpBytes.Add(s.UpBytes)
 		m.UpBytesEst.Add(s.UpBytesEst)
 		if s.Outcome == OutcomeMerged || s.Outcome == OutcomeLateReused {
@@ -252,7 +257,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	writeCounterVec(bw, "fl_flights_total", "Flights finalised, by outcome.", "outcome", m.Flights)
 	writeCounter(bw, "fl_flights_train_skipped_total", "Flights whose local training was lazily skipped.", &m.TrainSkipped)
-	writeCounter(bw, "fl_down_bytes_total", "Downlink payload bytes dispatched.", &m.DownBytes)
+	writeCounterVec(bw, "fl_down_bytes_total", "Downlink payload bytes dispatched (logical artifact size), by serving path.", "path", m.DownBytes)
 	writeCounter(bw, "fl_up_bytes_total", "Uplink payload bytes received (actual).", &m.UpBytes)
 	writeCounter(bw, "fl_up_bytes_est_total", "Uplink payload bytes as estimated for pricing.", &m.UpBytesEst)
 	writeCounterVec(bw, "fl_commits_total", "Aggregation events, by tier/kind.", "kind", m.Commits)

@@ -78,6 +78,22 @@ const (
 	OutcomeClipped = "clipped"
 )
 
+// Downlink paths (Span.DownPath for KindFlight): how the dispatched
+// artifact reached the client. DownBytes stays the logical artifact size
+// on every path — the paths classify the serving cost, not the payload.
+const (
+	// DownEncodedOnce marks the first dispatch of a (snapshot, width,
+	// codec) artifact: the one dispatch per cohort that pays the encode.
+	DownEncodedOnce = "encoded-once"
+	// DownReserved marks a dispatch served from the artifact store to a
+	// client that had not yet received it — bytes cross, CPU does not.
+	DownReserved = "re-served"
+	// DownNotModified marks a dispatch to a client that already holds the
+	// artifact (same client, same key): an ETag/If-None-Match skip where
+	// neither encode CPU nor body bytes are spent.
+	DownNotModified = "not-modified"
+)
+
 // LRU ops (Span.Op for KindLRU).
 const (
 	OpMaterialise = "materialise"
@@ -123,10 +139,15 @@ type Span struct {
 	// Flight payload facts: the dispatched and returned pool members (the
 	// width decision), the negotiated codec, and the bytes that crossed —
 	// estimated (pricing) and actual.
-	Sent       string `json:"sent,omitempty"`
-	Got        string `json:"got,omitempty"`
-	Codec      string `json:"codec,omitempty"`
-	DownBytes  int64  `json:"down_bytes,omitempty"`
+	Sent      string `json:"sent,omitempty"`
+	Got       string `json:"got,omitempty"`
+	Codec     string `json:"codec,omitempty"`
+	DownBytes int64  `json:"down_bytes,omitempty"`
+	// DownPath classifies how the downlink artifact was served (one of the
+	// Down* constants). Empty on runs without an artifact store, which
+	// metrics fold into the encoded-once series — the pre-store behaviour
+	// where every dispatch paid its own encode.
+	DownPath   string `json:"down_path,omitempty"`
 	UpBytes    int64  `json:"up_bytes,omitempty"`
 	UpBytesEst int64  `json:"up_bytes_est,omitempty"`
 

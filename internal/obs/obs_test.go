@@ -82,7 +82,7 @@ func TestObserverFansOut(t *testing.T) {
 	if got := m.Commits.with(KindCommit).Value(); got != 1 {
 		t.Fatalf("commit counter = %d, want 1", got)
 	}
-	if got := m.DownBytes.Value(); got != 40000 {
+	if got := m.DownBytes.with(DownEncodedOnce).Value(); got != 40000 {
 		t.Fatalf("down bytes = %d, want 40000", got)
 	}
 }
@@ -138,6 +138,7 @@ func TestPrometheusExposition(t *testing.T) {
 	m.applySpan(sampleFlight())
 	late := sampleFlight()
 	late.Outcome = OutcomeLate
+	late.DownPath = DownNotModified
 	m.applySpan(late)
 	m.applySpan(Span{Kind: KindCommit, Client: -1, Round: 1, Merged: 1})
 	m.CodecTiming("q8", "encode", 11000, 0.002)
@@ -155,7 +156,8 @@ func TestPrometheusExposition(t *testing.T) {
 		`fl_flights_total{outcome="late"} 1`,
 		`fl_flights_total{outcome="merged"} 1`,
 		`fl_commits_total{kind="commit"} 1`,
-		"fl_down_bytes_total 80000",
+		`fl_down_bytes_total{path="encoded-once"} 40000`,
+		`fl_down_bytes_total{path="not-modified"} 40000`,
 		"fl_exec_queued 2",
 		`fl_codec_seconds_count{op="q8/encode"} 1`,
 		`fl_codec_bytes_total{op="q8/encode"} 11000`,

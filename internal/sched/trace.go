@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strconv"
-	"strings"
+
+	"adaptivefl/internal/spec"
 )
 
 // Trace supplies per-client availability and speed over virtual time,
@@ -186,47 +186,36 @@ func (r *RandomTrace) Window(c int, t float64) (bool, float64, float64) {
 //
 // seed drives the generated timelines; weak marks the clients the
 // straggler spec slows (nil slows everyone).
-func ParseTrace(spec string, seed int64, weak func(c int) bool) (Trace, error) {
-	name, args, _ := strings.Cut(spec, ":")
-	params := map[string]float64{}
-	if args != "" {
-		for _, kv := range strings.Split(args, ",") {
-			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-			if !ok {
-				return nil, fmt.Errorf("sched: trace param %q is not key=value", kv)
-			}
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sched: trace param %q: %w", kv, err)
-			}
-			params[strings.TrimSpace(k)] = f
-		}
+func ParseTrace(traceSpec string, seed int64, weak func(c int) bool) (Trace, error) {
+	name, args, err := spec.Parse("sched", "trace", traceSpec)
+	if err != nil {
+		return nil, err
 	}
-	get := func(k string, def float64) float64 {
-		if v, ok := params[k]; ok {
-			return v
-		}
-		return def
-	}
+	var tr Trace
 	switch name {
 	case "", "always":
-		return AlwaysOn{}, nil
+		tr = AlwaysOn{}
 	case "straggler":
-		return &RandomTrace{
+		tr = &RandomTrace{
 			Seed:       seed,
-			MeanOn:     get("on", 30),
-			SlowProb:   get("prob", 0.5),
-			SlowFactor: get("slow", 10),
+			MeanOn:     args.Float("on", 30),
+			SlowProb:   args.Float("prob", 0.5),
+			SlowFactor: args.Float("slow", 10),
 			SlowOnly:   weak,
-		}, nil
+		}
 	case "churn":
-		return &RandomTrace{
+		tr = &RandomTrace{
 			Seed:       seed,
-			MeanOn:     get("on", 60),
-			MeanOff:    get("off", 20),
-			SlowProb:   get("prob", 0),
-			SlowFactor: get("slow", 1),
-		}, nil
+			MeanOn:     args.Float("on", 60),
+			MeanOff:    args.Float("off", 20),
+			SlowProb:   args.Float("prob", 0),
+			SlowFactor: args.Float("slow", 1),
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown trace %q (always|straggler|churn)", name)
 	}
-	return nil, fmt.Errorf("sched: unknown trace %q (always|straggler|churn)", name)
+	if err := args.Finish(); err != nil {
+		return nil, err
+	}
+	return tr, nil
 }

@@ -1,0 +1,243 @@
+// Package spec is the one tokenizer/validator behind the repository's
+// compact "name[:key=value,...]" configuration grammars: availability
+// traces (sched.ParseTrace), population mixes (core.ParsePopulation),
+// adversary specs (core.ParseAdversary) and aggregation policies
+// (agg.ParsePolicy). Each grammar keeps its own names, keys, defaults and
+// range validation; what they share is here — the tokenizer, the typed
+// accessors, the duplicate-key (last wins) and unknown-key semantics, and
+// the canonical Builder rendering every String() round-trips through.
+//
+// The accessor protocol: Parse (or ParseArgs) tokenizes, the grammar
+// consumes its keys with Str/Float/NonNeg, and Finish surfaces the first
+// value error — or, when every value parsed, an unknown-key error for the
+// first unconsumed pair in written order. Diagnostics carry the raw
+// "key=value" token, prefixed "<pkg>: <kind> param …", matching the
+// messages the hand-rolled parsers always printed.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// pair is one tokenized key=value argument. key is trimmed; raw keeps the
+// original token for diagnostics.
+type pair struct {
+	key, val, raw string
+}
+
+// Args is one tokenized argument section with consume-tracking typed
+// accessors.
+type Args struct {
+	pkg, kind string
+	pairs     []pair
+	taken     []bool
+	err       error
+}
+
+// Parse splits a spec string at the first ':' into its name and tokenized
+// arguments. pkg and kind shape the diagnostics ("core"/"population" →
+// `core: population param "x" is not key=value`).
+func Parse(pkg, kind, s string) (string, *Args, error) {
+	name, args, _ := strings.Cut(s, ":")
+	a, err := ParseArgs(pkg, kind, args)
+	return name, a, err
+}
+
+// ParseArgs tokenizes a bare comma-separated key=value list (grammars
+// that cut the name themselves, like agg's '+'-composed policy parts).
+func ParseArgs(pkg, kind, args string) (*Args, error) {
+	a := &Args{pkg: pkg, kind: kind}
+	if args == "" {
+		return a, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("%s: %s param %q is not key=value", pkg, kind, kv)
+		}
+		a.pairs = append(a.pairs, pair{key: strings.TrimSpace(k), val: v, raw: kv})
+	}
+	a.taken = make([]bool, len(a.pairs))
+	return a, nil
+}
+
+// fail records the first value error; later errors are dropped (one
+// diagnostic per parse, like the hand-rolled loops).
+func (a *Args) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// take consumes every occurrence of key and returns the last (duplicate
+// keys are last-wins, matching the original map/assignment semantics).
+func (a *Args) take(key string) (pair, bool) {
+	var p pair
+	found := false
+	for i := range a.pairs {
+		if a.pairs[i].key == key {
+			a.taken[i] = true
+			p, found = a.pairs[i], true
+		}
+	}
+	return p, found
+}
+
+// Has reports whether key is present, without consuming it.
+func (a *Args) Has(key string) bool {
+	for i := range a.pairs {
+		if a.pairs[i].key == key && !a.taken[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Str consumes key as a string field; def when absent.
+func (a *Args) Str(key, def string) string {
+	p, ok := a.take(key)
+	if !ok {
+		return def
+	}
+	return p.val
+}
+
+// Take consumes key, returning its last value and the raw "key=value"
+// token for grammar-specific diagnostics (e.g. rejecting empty values).
+func (a *Args) Take(key string) (val, raw string, ok bool) {
+	p, found := a.take(key)
+	return p.val, p.raw, found
+}
+
+// Float consumes key as a float64 field; def when absent. A malformed
+// value records `<pkg>: <kind> param "k=v": <strconv error>`.
+func (a *Args) Float(key string, def float64) float64 {
+	p, ok := a.take(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(p.val, 64)
+	if err != nil {
+		a.fail(fmt.Errorf("%s: %s param %q: %w", a.pkg, a.kind, p.raw, err))
+		return def
+	}
+	return f
+}
+
+// NonNeg is Float, additionally rejecting negative (and NaN) values
+// (`… must be non-negative`).
+func (a *Args) NonNeg(key string, def float64) float64 {
+	p, ok := a.take(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(p.val, 64)
+	if err != nil {
+		a.fail(fmt.Errorf("%s: %s param %q: %w", a.pkg, a.kind, p.raw, err))
+		return def
+	}
+	if !(f >= 0) {
+		a.fail(fmt.Errorf("%s: %s param %q must be non-negative", a.pkg, a.kind, p.raw))
+		return def
+	}
+	return f
+}
+
+// maxCount bounds Int values: 2^53, above which float64 can no longer
+// represent every integer (and far above any meaningful count here).
+const maxCount = 1 << 53
+
+// Int consumes key as a non-negative integer count; def when absent. The
+// fractional part truncates (matching the historical int(f) conversions);
+// NaN and values past 2^53 are rejected rather than wrapped through an
+// undefined float→int conversion.
+func (a *Args) Int(key string, def int) int {
+	p, ok := a.take(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(p.val, 64)
+	if err != nil {
+		a.fail(fmt.Errorf("%s: %s param %q: %w", a.pkg, a.kind, p.raw, err))
+		return def
+	}
+	if !(f >= 0) {
+		a.fail(fmt.Errorf("%s: %s param %q must be non-negative", a.pkg, a.kind, p.raw))
+		return def
+	}
+	if f > maxCount {
+		a.fail(fmt.Errorf("%s: %s param %q is too large", a.pkg, a.kind, p.raw))
+		return def
+	}
+	return int(f)
+}
+
+// Reject consumes key and records reason as its error — for keys that are
+// well-formed but invalid in this context (e.g. a behavior weight outside
+// a mix spec), so the diagnostic beats the generic unknown-key error.
+func (a *Args) Reject(key string, reason error) {
+	if _, ok := a.take(key); ok {
+		a.fail(reason)
+	}
+}
+
+// Err returns the first accumulated value error (nil if none so far).
+func (a *Args) Err() error { return a.err }
+
+// Finish returns the first value error, else an unknown-key error for the
+// first unconsumed pair (`<pkg>: unknown <kind> param "key"`), else nil.
+func (a *Args) Finish() error {
+	if a.err != nil {
+		return a.err
+	}
+	for i := range a.pairs {
+		if !a.taken[i] {
+			return fmt.Errorf("%s: unknown %s param %q", a.pkg, a.kind, a.pairs[i].key)
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a float the way every ported String() does —
+// strconv 'g' with the shortest round-trip precision.
+func FormatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Builder renders the canonical "name:k=v,..." spec form. Values render
+// so that build→parse→build is a fixed point: floats via FormatFloat,
+// matching the grammars' String() methods byte for byte.
+type Builder struct {
+	name  string
+	parts []string
+}
+
+// NewBuilder starts a spec rendering for the given grammar name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// Int appends an integer field.
+func (b *Builder) Int(key string, v int) *Builder {
+	b.parts = append(b.parts, key+"="+strconv.Itoa(v))
+	return b
+}
+
+// Float appends a float field.
+func (b *Builder) Float(key string, v float64) *Builder {
+	b.parts = append(b.parts, key+"="+FormatFloat(v))
+	return b
+}
+
+// Str appends a string field.
+func (b *Builder) Str(key, v string) *Builder {
+	b.parts = append(b.parts, key+"="+v)
+	return b
+}
+
+// String renders the spec: bare name with no fields, "name:k=v,..."
+// otherwise.
+func (b *Builder) String() string {
+	if len(b.parts) == 0 {
+		return b.name
+	}
+	return b.name + ":" + strings.Join(b.parts, ",")
+}

@@ -1,0 +1,181 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSplitsNameAndArgs(t *testing.T) {
+	name, args, err := Parse("core", "population", "mix:n=10,data=widar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mix" {
+		t.Fatalf("name = %q", name)
+	}
+	if got := args.Str("data", ""); got != "widar" {
+		t.Fatalf("data = %q", got)
+	}
+	if got := args.Float("n", 0); got != 10 {
+		t.Fatalf("n = %v", got)
+	}
+	if err := args.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBareName(t *testing.T) {
+	name, args, err := Parse("sched", "trace", "always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "always" {
+		t.Fatalf("name = %q", name)
+	}
+	if err := args.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedToken(t *testing.T) {
+	_, _, err := Parse("core", "adversary", "mix:frac")
+	want := `core: adversary param "frac" is not key=value`
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %s", err, want)
+	}
+}
+
+func TestTokensAreTrimmed(t *testing.T) {
+	_, args, err := Parse("sched", "trace", "churn: on = 40 ,off=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys trim; values keep their spacing (strconv rejects " 40 " the
+	// way the hand-rolled parsers always did), so only the well-formed
+	// token is asserted here.
+	if got := args.Float("off", 0); got != 10 {
+		t.Fatalf("off = %v", got)
+	}
+}
+
+func TestDuplicateKeysLastWins(t *testing.T) {
+	_, args, err := Parse("core", "population", "mix:n=1,n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := args.Float("n", 0); got != 2 {
+		t.Fatalf("n = %v", got)
+	}
+	// Both occurrences are consumed: no unknown-key error.
+	if err := args.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownKeyError(t *testing.T) {
+	_, args, err := Parse("core", "population", "mix:n=1,bogus=2,other=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args.Float("n", 0)
+	err = args.Finish()
+	want := `core: unknown population param "bogus"`
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %s", err, want)
+	}
+}
+
+func TestValueErrorBeatsUnknownKey(t *testing.T) {
+	_, args, err := Parse("core", "population", "mix:bogus=1,n=xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args.Float("n", 0)
+	err = args.Finish()
+	if err == nil || !strings.Contains(err.Error(), `param "n=xyz"`) {
+		t.Fatalf("err = %v, want the n=xyz value error", err)
+	}
+}
+
+func TestNonNegRejectsNegative(t *testing.T) {
+	_, args, err := Parse("core", "population", "mix:n=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args.NonNeg("n", 0)
+	err = args.Finish()
+	want := `core: population param "n=-1" must be non-negative`
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %s", err, want)
+	}
+}
+
+func TestFloatKeepsSign(t *testing.T) {
+	_, args, _ := Parse("x", "y", "n:v=-2.5")
+	if got := args.Float("v", 0); got != -2.5 {
+		t.Fatalf("v = %v", got)
+	}
+	if err := args.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeReturnsRawToken(t *testing.T) {
+	_, args, _ := Parse("core", "population", "mix:data=")
+	v, raw, ok := args.Take("data")
+	if !ok || v != "" || raw != "data=" {
+		t.Fatalf("Take = (%q, %q, %v)", v, raw, ok)
+	}
+}
+
+func TestReject(t *testing.T) {
+	_, args, _ := Parse("core", "adversary", "signflip:scale=1")
+	args.Reject("scale", errBehavior)
+	if err := args.Finish(); err != errBehavior {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBehavior = &mixOnlyError{}
+
+type mixOnlyError struct{}
+
+func (*mixOnlyError) Error() string { return "behavior weight only applies to mix specs" }
+
+func TestBuilderFixedPoint(t *testing.T) {
+	s := NewBuilder("mix").Int("n", 10).Float("weak", 0.4).Str("data", "widar").String()
+	want := "mix:n=10,weak=0.4,data=widar"
+	if s != want {
+		t.Fatalf("built %q, want %q", s, want)
+	}
+	name, args, err := Parse("core", "population", s)
+	if err != nil || name != "mix" {
+		t.Fatalf("reparse: %v, name %q", err, name)
+	}
+	again := NewBuilder("mix").
+		Int("n", int(args.Float("n", 0))).
+		Float("weak", args.Float("weak", 0)).
+		Str("data", args.Str("data", "")).String()
+	if again != s {
+		t.Fatalf("round trip %q != %q", again, s)
+	}
+}
+
+func TestBuilderBareName(t *testing.T) {
+	if got := NewBuilder("always").String(); got != "always" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyArgs(t *testing.T) {
+	a, err := ParseArgs("agg", "policy", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Has("anything") {
+		t.Fatal("empty args claim a key")
+	}
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"adaptivefl/internal/nn"
+)
+
+// ArtifactKey content-addresses one encoded downlink artifact: the bytes
+// a (snapshot, width, codec) triple encodes to are a pure function of the
+// key, so every client of a cohort can be served the same artifact and a
+// client that already holds it can skip the body entirely.
+type ArtifactKey struct {
+	// Snapshot is the global-state hash (nn.HashState) the artifact was
+	// extracted from. Any single-bit weight change yields a new key.
+	Snapshot uint64
+	// Member is the pool member (width) index the dispatch extracted.
+	Member int
+	// Codec is the wire codec tag the artifact is encoded with.
+	Codec string
+	// Ref is the reference-state hash for ref-diffed encodes. Downlink
+	// dispatch always encodes refless (Ref = 0); the field keys future
+	// delta downlinks, where the same snapshot diffed against different
+	// references yields different bytes.
+	Ref uint64
+}
+
+// ETag renders the key as a strong HTTP entity tag for the fednet
+// downlink. Distinct keys render distinct tags.
+func (k ArtifactKey) ETag() string {
+	return fmt.Sprintf("\"%016x-%d-%s-%016x\"", k.Snapshot, k.Member, k.Codec, k.Ref)
+}
+
+// Artifact is one cached encode: the wire bytes plus their decoded
+// round-trip. Both are shared across every consumer of the key —
+// read-only; a trainer that mutates State corrupts the cohort.
+type Artifact struct {
+	Key ArtifactKey
+	// Bytes is the encoded payload, byte-identical to what a direct
+	// Codec.Encode of the extracted state would produce (the store pins
+	// this).
+	Bytes []byte
+	// State is the decoded round-trip of Bytes — exactly what a remote
+	// device would decode, so serving it to in-process trainers keeps
+	// them bit-identical to HTTP ones. It is also the uplink reference
+	// both ends diff against for ref-using codecs.
+	State nn.State
+}
+
+// DefaultArtifactCap bounds the artifact LRU: commits are serial and a
+// pool has a handful of widths, so a small cap covers the live snapshot
+// plus the stale in-flight tail.
+const DefaultArtifactCap = 16
+
+// ArtifactStore memoises encoded dispatch artifacts by key with LRU
+// eviction. Get holds the store lock across the encode, so each key is
+// encoded exactly once per residency no matter how many dispatch workers
+// race on it — the encode-once invariant the scheduler bench pins.
+type ArtifactStore struct {
+	mu      sync.Mutex
+	capn    int
+	index   map[ArtifactKey]*list.Element
+	lru     *list.List // front = most recently used; value is *Artifact
+	encodes int64
+	hits    int64
+}
+
+// NewArtifactStore builds a store holding at most capn artifacts
+// (0 = DefaultArtifactCap).
+func NewArtifactStore(capn int) *ArtifactStore {
+	if capn <= 0 {
+		capn = DefaultArtifactCap
+	}
+	return &ArtifactStore{capn: capn, index: map[ArtifactKey]*list.Element{}, lru: list.New()}
+}
+
+// Get returns the artifact for key, encoding it at most once: on a miss,
+// stateFn supplies the state dict and c encodes it refless. Concurrent
+// callers of the same key serialise on the store lock, so the second
+// caller finds the first one's artifact instead of re-encoding.
+func (s *ArtifactStore) Get(key ArtifactKey, c Codec, stateFn func() (nn.State, error)) (*Artifact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*Artifact), nil
+	}
+	st, err := stateFn()
+	if err != nil {
+		return nil, err
+	}
+	b, err := c.Encode(st, nil)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := c.Decode(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.encodes++
+	art := &Artifact{Key: key, Bytes: b, State: dec}
+	s.index[key] = s.lru.PushFront(art)
+	for s.lru.Len() > s.capn {
+		el := s.lru.Back()
+		delete(s.index, el.Value.(*Artifact).Key)
+		s.lru.Remove(el)
+	}
+	return art, nil
+}
+
+// Lookup returns the cached artifact for key without encoding on a miss.
+func (s *ArtifactStore) Lookup(key ArtifactKey) (*Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	return el.Value.(*Artifact), true
+}
+
+// Encodes reports how many artifacts the store has encoded (misses).
+func (s *ArtifactStore) Encodes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encodes
+}
+
+// Hits reports how many Get/Lookup calls were served from cache.
+func (s *ArtifactStore) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Len reports the artifacts currently resident.
+func (s *ArtifactStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

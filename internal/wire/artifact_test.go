@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"adaptivefl/internal/nn"
+)
+
+func artKey(snap uint64, member int, tag string) ArtifactKey {
+	return ArtifactKey{Snapshot: snap, Member: member, Codec: tag}
+}
+
+// The store's bytes must be exactly what a direct refless encode of the
+// same state produces — the pinning that keeps artifact-served runs
+// bit-identical to per-client-encode runs.
+func TestArtifactBytesMatchDirectEncode(t *testing.T) {
+	st := randState(7)
+	for _, tag := range []string{TagRaw, TagF32, TagQ8, TagDelta} {
+		c, err := ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := c.Encode(st, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewArtifactStore(0)
+		art, err := s.Get(artKey(1, 0, tag), c, func() (nn.State, error) { return st, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(art.Bytes, direct) {
+			t.Fatalf("%s: artifact bytes diverge from direct encode", tag)
+		}
+		// State is the decoded round-trip — what a device would decode —
+		// not the pre-encode input (they differ under lossy codecs).
+		roundTrip, err := c.Decode(direct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nn.HashState(art.State) != nn.HashState(roundTrip) {
+			t.Fatalf("%s: artifact state diverges from decoded round-trip", tag)
+		}
+	}
+}
+
+// Each key encodes exactly once no matter how many concurrent dispatch
+// workers ask for it.
+func TestArtifactEncodeOnce(t *testing.T) {
+	st := randState(8)
+	c, _ := ByTag(TagQ8)
+	s := NewArtifactStore(0)
+	var calls int
+	var mu sync.Mutex
+	stateFn := func() (nn.State, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return st, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Get(artKey(42, 1, TagQ8), c, stateFn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("state extracted %d times, want 1", calls)
+	}
+	if s.Encodes() != 1 {
+		t.Fatalf("Encodes() = %d, want 1", s.Encodes())
+	}
+	if s.Hits() != 15 {
+		t.Fatalf("Hits() = %d, want 15", s.Hits())
+	}
+}
+
+// Distinct (snapshot, member, codec, ref) keys are distinct artifacts and
+// distinct ETags.
+func TestArtifactKeysAndETagsDistinct(t *testing.T) {
+	keys := []ArtifactKey{
+		{Snapshot: 1, Member: 0, Codec: TagQ8},
+		{Snapshot: 2, Member: 0, Codec: TagQ8},
+		{Snapshot: 1, Member: 1, Codec: TagQ8},
+		{Snapshot: 1, Member: 0, Codec: TagDelta},
+		{Snapshot: 1, Member: 0, Codec: TagQ8, Ref: 3},
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		et := k.ETag()
+		if seen[et] {
+			t.Fatalf("duplicate ETag %s", et)
+		}
+		seen[et] = true
+	}
+}
+
+func TestArtifactStoreEviction(t *testing.T) {
+	st := randState(9)
+	c, _ := ByTag(TagF32)
+	s := NewArtifactStore(2)
+	get := func(snap uint64) {
+		if _, err := s.Get(artKey(snap, 0, TagF32), c, func() (nn.State, error) { return st, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(3) // evicts 1
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	if _, ok := s.Lookup(artKey(1, 0, TagF32)); ok {
+		t.Fatal("evicted artifact still resident")
+	}
+	get(1) // re-encode after eviction
+	if s.Encodes() != 4 {
+		t.Fatalf("Encodes() = %d, want 4", s.Encodes())
+	}
+	// 2 was the LRU victim of the re-encode of 1.
+	if _, ok := s.Lookup(artKey(2, 0, TagF32)); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	if _, ok := s.Lookup(artKey(3, 0, TagF32)); !ok {
+		t.Fatal("recently used artifact evicted")
+	}
+}
+
+func TestArtifactStateFnError(t *testing.T) {
+	c, _ := ByTag(TagRaw)
+	s := NewArtifactStore(0)
+	wantErr := fmt.Errorf("extract failed")
+	_, err := s.Get(artKey(1, 0, TagRaw), c, func() (nn.State, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Len() != 0 || s.Encodes() != 0 {
+		t.Fatal("failed encode left residue")
+	}
+}
